@@ -1,0 +1,210 @@
+"""A2 — ablation: the paper's future-work solver optimisations.
+
+§4.4 names three escape routes from the verification bottleneck:
+incremental solving (reusing solver state across queries),
+``check-sat-assuming`` for exploring conditions without re-solving, and
+FOL simplification/pruning before encoding.  All three are implemented;
+this bench measures each against its naive baseline.
+"""
+
+import time
+
+from conftest import print_table
+
+from repro import SolverBudget
+from repro.core.encode import encode_query
+from repro.core.subgraph import extract_subgraph
+from repro.fol.builder import negate
+from repro.fol.formula import PredicateSymbol
+from repro.fol.simplify import prune_irrelevant, simplify
+from repro.fol.visitor import collect_predicates
+from repro.llm.tasks import ExtractedParameters
+from repro.solver import Solver
+
+BUDGET = SolverBudget(timeout_seconds=30.0, max_ground_instances=500_000)
+
+QUERY = ExtractedParameters(
+    sender="metabook",
+    receiver=None,
+    subject="user",
+    data_type="email",
+    action="collect",
+    condition=None,
+    permission=True,
+)
+
+
+def _encoded(metabook_model, max_edges=250):
+    sub = extract_subgraph(metabook_model.graph, ["email"], [], max_edges=max_edges)
+    return encode_query(sub, QUERY)
+
+
+def test_a2_check_sat_assuming_vs_resolve(benchmark, metabook_model):
+    """Exploring k conditions: one incremental solver vs k fresh solves."""
+    encoded = _encoded(metabook_model)
+    conditions = sorted(encoded.uninterpreted)[:8]
+    rows = []
+
+    # Naive: a fresh solver (and full re-grounding) per condition.
+    start = time.perf_counter()
+    naive_results = []
+    for name in conditions:
+        solver = Solver(budget=BUDGET)
+        for formula in encoded.policy_formulas:
+            solver.assert_formula(formula)
+        solver.assert_formula(negate(encoded.query_formula))
+        solver.assert_formula(PredicateSymbol(name, (), uninterpreted=True)())
+        naive_results.append(solver.check_sat().status.value)
+    naive_seconds = time.perf_counter() - start
+
+    # Incremental: one solver, check-sat-assuming per condition.
+    start = time.perf_counter()
+    incremental = Solver(budget=BUDGET)
+    for formula in encoded.policy_formulas:
+        incremental.assert_formula(formula)
+    incremental.assert_formula(negate(encoded.query_formula))
+    incr_results = []
+    for name in conditions:
+        assumption = PredicateSymbol(name, (), uninterpreted=True)()
+        incr_results.append(incremental.check_sat_assuming([assumption]).status.value)
+    incr_seconds = time.perf_counter() - start
+
+    rows.append(
+        [
+            f"{len(conditions)} condition probes",
+            f"{naive_seconds:.3f}",
+            f"{incr_seconds:.3f}",
+            f"{naive_seconds / max(incr_seconds, 1e-9):.1f}x",
+        ]
+    )
+    print_table(
+        "A2a: check-sat-assuming vs fresh re-solving",
+        ["workload", "fresh solves (s)", "incremental (s)", "speedup"],
+        rows,
+    )
+
+    assert incr_results == naive_results  # identical verdicts
+    assert incr_seconds < naive_seconds
+
+    benchmark(incremental.check_sat_assuming, [
+        PredicateSymbol(conditions[0], (), uninterpreted=True)()
+    ])
+
+
+def test_a2_simplification_and_pruning(benchmark, metabook_model):
+    """Pruning irrelevant conjuncts shrinks the problem the solver sees."""
+    encoded = _encoded(metabook_model, max_edges=400)
+    from repro.fol.builder import conjoin
+
+    whole_policy = conjoin(list(encoded.policy_formulas))
+    relevant = {s.name for s in collect_predicates(encoded.query_formula)}
+
+    pruned = prune_irrelevant(whole_policy, relevant)
+
+    def clause_count(formula) -> int:
+        from repro.fol.formula import And
+
+        simplified = simplify(formula)
+        if isinstance(simplified, And):
+            return len(simplified.operands)
+        return 1
+
+    full_size = clause_count(whole_policy)
+    pruned_size = clause_count(pruned)
+
+    print_table(
+        "A2b: relevance pruning before encoding",
+        ["variant", "top-level conjuncts"],
+        [["full encoding", full_size], ["pruned to query predicates", pruned_size]],
+    )
+    assert pruned_size < full_size
+
+    # Soundness of the prune for this query: the verdict is unchanged.
+    full_solver = Solver(budget=BUDGET)
+    full_solver.assert_formula(whole_policy)
+    full_solver.assert_formula(negate(encoded.query_formula))
+    pruned_solver = Solver(budget=BUDGET)
+    pruned_solver.assert_formula(pruned)
+    # Keep the query's constants in the pruned universe.
+    for const in list(encoded.entity_constants.values()) + list(
+        encoded.data_constants.values()
+    ):
+        pruned_solver.declare_constant(const)
+    pruned_solver.assert_formula(negate(encoded.query_formula))
+    assert (
+        full_solver.check_sat().status == pruned_solver.check_sat().status
+    )
+
+    benchmark(prune_irrelevant, whole_policy, relevant)
+
+
+def test_a2_cnf_preprocessing(benchmark, metabook_model):
+    """Presolving (units, subsumption, pure literals) shrinks the CNF."""
+    import time as _time
+
+    from repro.solver.preprocess import preprocess
+    from repro.solver.cnf import tseitin
+    from repro.solver.grounding import Universe, ground
+    from repro.solver.literals import AtomPool
+    from repro.fol.visitor import collect_constants
+
+    # A non-entailed query keeps the clause set satisfiable; an entailed one
+    # would be refuted outright by unit propagation (also a fine outcome,
+    # but then there is no reduction to measure).
+    sub = extract_subgraph(metabook_model.graph, ["email"], [], max_edges=400)
+    query = ExtractedParameters(
+        sender="metabook",
+        receiver=None,
+        subject="user",
+        data_type="email",
+        action="sell",
+        condition=None,
+        permission=True,
+    )
+    encoded = encode_query(sub, query)
+    formulas = encoded.policy_formulas + [negate(encoded.query_formula)]
+    universe = Universe()
+    for formula in formulas:
+        universe.declare_all(collect_constants(formula))
+    pool = AtomPool()
+    clauses = []
+    for formula in formulas:
+        clauses.extend(tseitin(ground(formula, universe), pool))
+
+    start = _time.perf_counter()
+    result = preprocess(
+        clauses,
+        pure_literals=True,
+        protect=frozenset(pool.named_atoms().values()),
+    )
+    seconds = _time.perf_counter() - start
+
+    print_table(
+        "A2c: CNF presolving on a policy encoding",
+        ["metric", "value"],
+        [
+            ["input clauses", len(clauses)],
+            ["output clauses", len(result.clauses)],
+            ["units fixed", result.stats.units_fixed],
+            ["subsumed removed", result.stats.subsumed_removed],
+            ["pure eliminated", result.stats.pure_eliminated],
+            ["reduction", f"{1 - len(result.clauses) / len(clauses):.1%}"],
+            ["presolve seconds", f"{seconds:.3f}"],
+        ],
+    )
+    assert len(result.clauses) < 0.8 * len(clauses)
+
+    # End-to-end: the preprocessing-enabled solver agrees with the plain one.
+    plain = Solver(budget=BUDGET)
+    pre = Solver(budget=BUDGET, enable_preprocessing=True)
+    for solver in (plain, pre):
+        for formula in formulas:
+            solver.assert_formula(formula)
+    assert plain.check_sat().status == pre.check_sat().status
+
+    benchmark(
+        preprocess,
+        clauses,
+        pure_literals=True,
+        protect=frozenset(pool.named_atoms().values()),
+    )

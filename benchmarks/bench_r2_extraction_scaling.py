@@ -1,0 +1,56 @@
+"""R2 — §4.4/§5: "the extraction itself scales linearly with policy size
+through segmentation and caching."
+
+Sweeps generated policies from 2k to 32k words, measures Phase 1+2 wall
+time per policy, and asserts near-linear scaling: time per word at 32k is
+within 3x of time per word at 2k (a quadratic pipeline would be ~16x).
+"""
+
+import time
+
+from conftest import print_table
+
+from repro import PolicyPipeline
+from repro.corpus.generator import GeneratorProfile, PolicyGenerator
+
+SIZES = (2_000, 4_000, 8_000, 16_000, 32_000)
+
+
+def _process(words: int) -> tuple[float, int, int]:
+    profile = GeneratorProfile(company="ScaleCo", platform="ScaleCo", seed=words)
+    doc = PolicyGenerator(profile).generate(words)
+    pipeline = PolicyPipeline()
+    start = time.perf_counter()
+    model = pipeline.process(doc.text)
+    elapsed = time.perf_counter() - start
+    return elapsed, doc.word_count, model.statistics.total_edges
+
+
+def test_r2_extraction_scaling(benchmark):
+    rows = []
+    per_word = {}
+    for words in SIZES:
+        elapsed, actual_words, edges = _process(words)
+        per_word[words] = elapsed / actual_words
+        rows.append(
+            [
+                f"{words:,}",
+                f"{actual_words:,}",
+                edges,
+                f"{elapsed:.2f}",
+                f"{1e6 * per_word[words]:.1f}",
+            ]
+        )
+
+    print_table(
+        "R2: extraction time vs policy size (paper claim: linear)",
+        ["target words", "actual words", "edges", "seconds", "us/word"],
+        rows,
+    )
+
+    # Near-linear: cost per word grows by at most 3x across a 16x size span.
+    ratio = per_word[SIZES[-1]] / per_word[SIZES[0]]
+    print(f"  per-word cost ratio ({SIZES[-1]:,} vs {SIZES[0]:,} words): {ratio:.2f}x")
+    assert ratio < 3.0, f"extraction is super-linear: {ratio:.2f}x per-word growth"
+
+    benchmark.pedantic(_process, args=(4_000,), rounds=2, iterations=1)

@@ -1,0 +1,71 @@
+"""R6 — §5: "The system generalizes across domains without modification."
+
+"The LLM extracts parameters from any terminology, while CoL builds
+hierarchies based on semantic relationships rather than predefined
+categories. ... can adapt to healthcare, media, financial, or educational
+terminology through the same iterative process."
+
+Runs the unmodified pipeline on a healthcare-domain policy (MediTrack) and
+checks that extraction, taxonomy induction, and query verification all
+work on terminology absent from the media-platform corpora: diagnoses,
+medications, wearable telemetry, telehealth recordings.
+"""
+
+from conftest import print_table
+
+from repro import PolicyPipeline, Verdict
+from repro.corpus import MEDITRACK_SHOWCASE, meditrack_policy
+
+HEALTH_TERMS = (
+    "medication",
+    "lab result",
+    "heart rate",
+    "sleep pattern",
+    "immunization record",
+)
+
+
+def test_r6_domain_generalization(benchmark, pipeline):
+    policy = meditrack_policy()
+    model = pipeline.process(policy.text)
+    stats = model.statistics.as_dict()
+
+    rows = [[k, v] for k, v in stats.items()]
+    print_table(
+        f"R6: unmodified pipeline on a healthcare policy ({policy.word_count:,} words)",
+        ["metric", "value"],
+        rows,
+    )
+
+    assert model.company == "MediTrack"
+    assert stats["total_edges"] > 400
+    assert stats["data_types"] > 40
+
+    # The dynamic taxonomy organizes the novel terminology (Challenge 2).
+    taxonomy = model.data_taxonomy
+    organized = [t for t in HEALTH_TERMS if t in taxonomy]
+    placements = [
+        [term, taxonomy.parent(term) or "-"] for term in HEALTH_TERMS if term in taxonomy
+    ]
+    print_table("R6: taxonomy placement of domain-novel terms", ["term", "parent"], placements)
+    assert len(organized) >= 4
+    under_health = [
+        t for t in organized if "health data" in ([taxonomy.parent(t)] + taxonomy.ancestors(t))
+    ]
+    assert len(under_health) >= 3
+
+    # The showcase statements decompose exactly like the media-domain ones.
+    for statement, min_edges in MEDITRACK_SHOWCASE:
+        practices = pipeline.runner.extract_parameters(statement, "MediTrack")
+        assert len(practices) >= min_edges
+
+    # End-to-end query on domain terminology.
+    outcome = pipeline.query(model, "The user provides medications to MediTrack.")
+    print(f"  query verdict: {outcome.verdict}")
+    assert outcome.verdict in (Verdict.VALID, Verdict.INVALID)
+    assert outcome.subgraph.num_edges > 0
+
+    text = policy.text
+    benchmark.pedantic(
+        lambda: PolicyPipeline().process(text), rounds=2, iterations=1
+    )

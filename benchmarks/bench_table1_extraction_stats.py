@@ -1,0 +1,52 @@
+"""Table 1 — extraction statistics for both policies.
+
+Paper reports (TikTok / Meta): 419 / 1,323 nodes, 974 / 3,801 edges,
+217 / 700 entities, 122 / 382 data types.  Absolute numbers differ on the
+synthetic corpora; the asserted shape is the paper's: Meta ≈ 3x TikTok,
+edges ≥ 2x nodes, and both policies process end to end.
+"""
+
+from conftest import print_table
+
+from repro.corpus import metabook_policy, tiktak_policy
+
+PAPER_TABLE1 = {
+    "TikTok": {"total_nodes": 419, "total_edges": 974, "entities": 217, "data_types": 122},
+    "Meta": {"total_nodes": 1323, "total_edges": 3801, "entities": 700, "data_types": 382},
+}
+
+
+def test_table1_extraction_statistics(benchmark, pipeline, tiktak_model, metabook_model):
+    tk = tiktak_model.statistics.as_dict()
+    mb = metabook_model.statistics.as_dict()
+
+    print_table(
+        "Table 1: Extraction Statistics (paper / measured)",
+        ["Metric", "TikTok(paper)", "TikTak(ours)", "Meta(paper)", "MetaBook(ours)"],
+        [
+            [
+                metric,
+                PAPER_TABLE1["TikTok"][metric],
+                tk[metric],
+                PAPER_TABLE1["Meta"][metric],
+                mb[metric],
+            ]
+            for metric in ("total_nodes", "total_edges", "entities", "data_types")
+        ],
+    )
+
+    # Shape assertions from the paper's table.
+    assert mb["total_nodes"] > 1.5 * tk["total_nodes"]
+    assert mb["total_edges"] > 2.0 * tk["total_edges"]
+    assert mb["data_types"] > tk["data_types"]
+    assert tk["total_edges"] > tk["total_nodes"]
+    assert mb["total_edges"] > mb["total_nodes"]
+
+    # Benchmark the full Phase 1+2 pipeline on the TikTok-scale policy with
+    # a cold LLM cache (a fresh pipeline per round).
+    from repro import PolicyPipeline
+
+    text = tiktak_policy().text
+    benchmark.pedantic(
+        lambda: PolicyPipeline().process(text), rounds=2, iterations=1
+    )

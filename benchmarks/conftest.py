@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench prints the paper-style table it regenerates (run with ``-s`` to
+see them) and asserts the *shape* claims — who wins, by roughly what
+factor, where the solver gives out — so a green bench run doubles as a
+reproduction check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PolicyPipeline
+from repro.corpus import metabook_policy, tiktak_policy
+
+
+@pytest.fixture(scope="session")
+def pipeline() -> PolicyPipeline:
+    return PolicyPipeline()
+
+
+@pytest.fixture(scope="session")
+def tiktak_model(pipeline):
+    return pipeline.process(tiktak_policy().text)
+
+
+@pytest.fixture(scope="session")
+def metabook_model(pipeline):
+    return pipeline.process(metabook_policy().text)
+
+
+def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Render an aligned text table to stdout."""
+    widths = [len(h) for h in headers]
+    rendered = [[str(c) for c in row] for row in rows]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    print(f"\n== {title}")
+    print("  " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  " + "-+-".join("-" * w for w in widths))
+    for row in rendered:
+        print("  " + " | ".join(c.ljust(w) for c, w in zip(row, widths)))

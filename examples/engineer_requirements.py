@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Engineer scenario: extract implementation requirements for a feature.
+
+An engineer building a contact-sync feature needs the exact conditions the
+policy attaches to contact data: what may be collected, what must be gated
+on user choice, and which conditions are vague enough to need a product or
+legal decision.  The same pass shows the formal-verification boundary: the
+solver proves what it can and names the uninterpreted predicates it cannot.
+"""
+
+from repro import PolicyPipeline, SolverBudget, PipelineConfig
+from repro.corpus import tiktak_policy
+
+
+def main() -> None:
+    pipeline = PolicyPipeline(
+        config=PipelineConfig(solver_budget=SolverBudget(timeout_seconds=5.0))
+    )
+    model = pipeline.process(tiktak_policy().text)
+
+    # Bridge the engineer's vocabulary into the policy's vocabulary first —
+    # the policy says "email", "phone number", "contact", not the feature
+    # spec's wording.
+    from repro.core.translation import translate_query_terms
+
+    feature_terms = ["phone contacts", "email address", "phone number"]
+    translations = translate_query_terms(
+        pipeline.runner,
+        model.store,
+        feature_terms,
+        vocabulary=model.node_vocabulary,
+    )
+    print("vocabulary bridging:")
+    for term, result in translations.items():
+        print(f"  {term!r} -> {result.translated!r} (verified={result.verified})")
+
+    print("\nrequirements relevant to a contact-sync feature:\n")
+    seen = set()
+    for result in translations.values():
+        closure = model.graph.data_closure(result.translated)
+        for node in closure:
+            for edge in model.graph.edges_touching(node):
+                if edge.target in closure:
+                    seen.add(edge.describe())
+    for line in sorted(seen)[:20]:
+        print("  " + line)
+
+    print("\n--- formal check: may TikTak collect the phone number? ---")
+    outcome = pipeline.query(model, "TikTak collects the phone number.")
+    print(outcome.summary())
+
+    if outcome.verification.depends_on:
+        print("\nimplementation checklist derived from the verdict:")
+        for name, source in sorted(outcome.verification.depends_on.items()):
+            print(f"  [ ] implement/verify gate for {name!r} ({source!r})")
+
+    # Exploring a condition without re-encoding: check-sat-assuming lets the
+    # engineer ask "and if the user opted in?" cheaply.
+    print("\n--- condition exploration with check-sat-assuming ---")
+    from repro.core.encode import encode_query
+    from repro.core.subgraph import extract_subgraph
+    from repro.fol.builder import negate
+    from repro.fol.formula import PredicateSymbol
+    from repro.solver import Solver
+
+    sub = extract_subgraph(model.graph, ["phone number"], [])
+    encoded = encode_query(sub, pipeline.runner.extract_parameters(
+        "TikTak collects the phone number.", model.company)[0])
+    solver = Solver()
+    for formula in encoded.policy_formulas:
+        solver.assert_formula(formula)
+    if encoded.query_formula is not None:
+        solver.assert_formula(negate(encoded.query_formula))
+    for name, source in sorted(encoded.uninterpreted.items()):
+        assumption = PredicateSymbol(name, (), uninterpreted=True)()
+        result = solver.check_sat_assuming([assumption])
+        verdict = "entailed" if result.is_unsat else "still not entailed"
+        print(f"  assuming {name}: query {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fleet-scale scenario: audit many policies and aggregate, MAPS-style.
+
+The paper cites MAPS, which scaled privacy-compliance analysis to a
+million Android apps, and PolicyLint's corpus statistic that 14.2% of
+apps contain apparent contradictions.  This example runs the pipeline over
+a generated fleet of policies and reports the corpus-level statistics an
+app-store-scale audit would produce.
+"""
+
+from repro import PolicyPipeline
+from repro.analysis import (
+    coverage_report,
+    find_contradictions,
+    find_incomplete_disclaimers,
+)
+from repro.corpus.generator import GeneratorProfile, PolicyGenerator
+
+FLEET_SIZE = 12
+
+
+def main() -> None:
+    pipeline = PolicyPipeline()
+    per_policy = []
+    for seed in range(FLEET_SIZE):
+        # Vary size and contradiction profile across the fleet; a third of
+        # the fleet gets no injected genuine contradictions at all.
+        profile = GeneratorProfile(
+            company=f"App{seed:02d}",
+            platform=f"App{seed:02d}",
+            seed=7000 + seed,
+            exception_pairs=4 + seed % 3,
+            incoherent_exception_fraction=0.0 if seed % 3 == 0 else 0.3,
+        )
+        doc = PolicyGenerator(profile).generate(1500 + 400 * (seed % 4))
+        model = pipeline.process(doc.text)
+        contradictions = find_contradictions(
+            model.extraction.practices, data_taxonomy=model.data_taxonomy
+        )
+        coverage = coverage_report(model.graph)
+        disclaimers = find_incomplete_disclaimers(model.graph)
+        per_policy.append(
+            {
+                "company": profile.company,
+                "words": doc.word_count,
+                "edges": model.statistics.total_edges,
+                "apparent": contradictions.total,
+                "genuine": len(contradictions.genuine),
+                "coherent_fraction": contradictions.coherent_fraction,
+                "retention_gaps": len(coverage.collection_without_retention),
+                "disclaimer_findings": disclaimers.total_findings,
+            }
+        )
+
+    print(f"{'policy':8s} {'words':>6s} {'edges':>6s} {'apparent':>9s} "
+          f"{'genuine':>8s} {'coherent':>9s} {'ret.gaps':>9s} {'disclaimers':>11s}")
+    for row in per_policy:
+        print(
+            f"{row['company']:8s} {row['words']:6d} {row['edges']:6d} "
+            f"{row['apparent']:9d} {row['genuine']:8d} "
+            f"{row['coherent_fraction']:8.1%} {row['retention_gaps']:9d} "
+            f"{row['disclaimer_findings']:11d}"
+        )
+
+    with_genuine = sum(1 for r in per_policy if r["genuine"] > 0)
+    print(
+        f"\ncorpus statistics ({FLEET_SIZE} policies):"
+        f"\n  policies with genuine contradictions: {with_genuine}"
+        f" ({with_genuine / FLEET_SIZE:.1%} — PolicyLint reported 14.2% of apps)"
+        f"\n  mean coherent-exception fraction: "
+        f"{sum(r['coherent_fraction'] for r in per_policy) / FLEET_SIZE:.1%}"
+        f"\n  total LLM calls: {pipeline.llm.stats.calls}"
+        f" ({pipeline.llm.stats.cache_hits} served from cache)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Policy-author scenario: track changes across policy versions.
+
+Demonstrates the incremental machinery: content-hashed segments mean a new
+policy version only re-extracts what actually changed, and the
+practice-level diff shows what the edit did to data handling.
+"""
+
+from repro import PolicyPipeline
+from repro.analysis import diff_policies, render_diff
+from repro.corpus import tiktak_policy
+
+
+def main() -> None:
+    base = tiktak_policy()
+    pipeline = PolicyPipeline()
+
+    print(f"processing version 1 ({base.word_count:,} words)...")
+    model_v1 = pipeline.process(base.text)
+    calls_v1 = pipeline.llm.stats.calls
+    print(f"  LLM calls: {calls_v1}")
+
+    # Version 2: a regulator forces two changes — consent gating on a
+    # sharing statement, plus a brand-new collection disclosure.
+    v2_text = base.text.replace(
+        "We share your usage information with analytics providers",
+        "We share your usage information with analytics providers only "
+        "with your consent",
+    )
+    v2_text += "\nWe collect your voiceprints when you use voice effects.\n"
+
+    print("\napplying version 2 incrementally...")
+    model_v2, stats = pipeline.update(model_v1, v2_text)
+    print(
+        f"  segments: {stats.segments_total} total, "
+        f"{stats.segments_reused} reused, "
+        f"{stats.segments_reextracted} re-extracted, "
+        f"{stats.segments_removed} removed"
+    )
+    print(f"  reuse fraction: {stats.reuse_fraction:.1%}")
+    print(f"  additional LLM calls: {pipeline.llm.stats.calls - calls_v1}")
+
+    print("\n--- what changed about data handling ---")
+    diff = diff_policies(model_v1.extraction, model_v2.extraction)
+    print(render_diff(diff))
+
+    # The new practice is immediately queryable.
+    outcome = pipeline.query(model_v2, "TikTak collects voiceprints.")
+    print("\nverifying the new disclosure:")
+    print(outcome.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — reproduction of "The Privacy Quagmire" (HotNets '25).
+
+A pipeline that converts natural-language privacy policies into first-order
+logic while preserving ambiguity: LLM-based semantic-role extraction,
+Chain-of-Layer hierarchy construction, embedding-based query translation,
+and SMT-backed verification where vague legal terms remain uninterpreted
+predicates requiring human judgment.
+
+Quickstart::
+
+    from repro import PolicyPipeline
+    from repro.corpus import tiktak_policy
+
+    pipeline = PolicyPipeline()
+    model = pipeline.process(tiktak_policy().text)
+    outcome = pipeline.query(model, "The user provides email to TikTak.")
+    print(outcome.summary())
+
+Every substrate the paper relies on is bundled and offline: a simulated LLM
+backend (:mod:`repro.llm`), deterministic embeddings
+(:mod:`repro.embeddings`), an SMT solver with SMT-LIB v2 round-tripping
+(:mod:`repro.solver`, :mod:`repro.smtlib`), and synthetic TikTok-scale and
+Meta-scale policy corpora (:mod:`repro.corpus`).
+"""
+
+from repro.core.pipeline import (
+    PipelineConfig,
+    PolicyModel,
+    PolicyPipeline,
+    QueryOutcome,
+    UpdateStats,
+)
+from repro.core.verify import Verdict, VerificationResult
+from repro.errors import ReproError
+from repro.solver.interface import SolverBudget
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PolicyPipeline",
+    "PolicyModel",
+    "PipelineConfig",
+    "QueryOutcome",
+    "UpdateStats",
+    "Verdict",
+    "VerificationResult",
+    "SolverBudget",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,61 @@
+"""Applications built on the extracted policy model.
+
+The paper names four user groups; this subpackage serves them:
+
+* **policy authors** — :mod:`diffing` tracks changes across versions;
+* **legal teams** — :mod:`contradictions` and :mod:`exceptions` find
+  apparent contradictions and classify which are coherent exception
+  patterns (the PolicyLint 14.2% phenomenon);
+* **companies/users** — :mod:`coverage` reports gaps (collection without
+  retention, sharing without conditions, vague-term hot spots);
+* **engineers** — :mod:`report` renders the concrete conditions and
+  requirements extracted for implementation.
+"""
+
+from repro.analysis.contradictions import (
+    ApparentContradiction,
+    ContradictionReport,
+    find_contradictions,
+)
+from repro.analysis.exceptions import ExceptionPattern, classify_exception
+from repro.analysis.diffing import PolicyDiff, diff_policies
+from repro.analysis.coverage import CoverageReport, coverage_report
+from repro.analysis.disclaimers import (
+    DisclaimerReport,
+    find_incomplete_disclaimers,
+    render_disclaimers,
+)
+from repro.analysis.report import render_contradictions, render_coverage, render_diff
+from repro.analysis.rights import RightsReport, rights_report
+from repro.analysis.scenarios import (
+    Expectation,
+    Scenario,
+    ScenarioReport,
+    load_scenarios,
+    run_scenarios,
+)
+
+__all__ = [
+    "ApparentContradiction",
+    "ContradictionReport",
+    "find_contradictions",
+    "ExceptionPattern",
+    "classify_exception",
+    "PolicyDiff",
+    "diff_policies",
+    "CoverageReport",
+    "coverage_report",
+    "DisclaimerReport",
+    "find_incomplete_disclaimers",
+    "render_disclaimers",
+    "render_contradictions",
+    "render_coverage",
+    "render_diff",
+    "RightsReport",
+    "rights_report",
+    "Expectation",
+    "Scenario",
+    "ScenarioReport",
+    "run_scenarios",
+    "load_scenarios",
+]

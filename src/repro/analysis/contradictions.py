@@ -1,0 +1,162 @@
+"""Apparent-contradiction detection (PolicyLint-style).
+
+Scans the extracted practices for (denial, permission) pairs on the same or
+hierarchically related data, then classifies each pair with
+:func:`repro.analysis.exceptions.classify_exception`.  The headline
+statistic mirrors PolicyLint's finding: what fraction of apparent
+contradictions are actually coherent exception patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.exceptions import ExceptionPattern, classify_exception
+from repro.core.hierarchy import Taxonomy
+from repro.core.parameters import AnnotatedPractice
+from repro.nlp.lexicon import SHARING_VERBS
+
+#: Actions comparable for contradiction purposes: denying one of these
+#: conflicts with permitting another ("do not share" vs "disclose").
+_CONFLICT_GROUPS: tuple[frozenset[str], ...] = (
+    frozenset(SHARING_VERBS),
+    frozenset({"collect", "gather", "obtain", "access", "record", "log"}),
+    frozenset({"store", "retain", "keep", "preserve"}),
+    frozenset({"track", "monitor"}),
+)
+
+
+def _conflict_group(action: str) -> int | None:
+    for i, group in enumerate(_CONFLICT_GROUPS):
+        if action in group:
+            return i
+    return None
+
+
+@dataclass(frozen=True, slots=True)
+class ApparentContradiction:
+    """A denial/permission pair on related data with comparable actions."""
+
+    denial: AnnotatedPractice
+    permission: AnnotatedPractice
+    pattern: ExceptionPattern
+
+    @property
+    def is_coherent(self) -> bool:
+        return self.pattern.is_coherent
+
+    def describe(self) -> str:
+        return (
+            f"[{self.pattern.value}] "
+            f"denies: {self.denial.sender} {self.denial.action} "
+            f"{self.denial.data_type}"
+            + (f" to {self.denial.receiver}" if self.denial.receiver else "")
+            + f"  vs permits: {self.permission.sender} {self.permission.action} "
+            f"{self.permission.data_type}"
+            + (f" to {self.permission.receiver}" if self.permission.receiver else "")
+            + (f" when {self.permission.condition}" if self.permission.condition else "")
+        )
+
+
+@dataclass(slots=True)
+class ContradictionReport:
+    """All apparent contradictions found in one policy."""
+
+    contradictions: list[ApparentContradiction] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.contradictions)
+
+    @property
+    def coherent(self) -> list[ApparentContradiction]:
+        return [c for c in self.contradictions if c.is_coherent]
+
+    @property
+    def genuine(self) -> list[ApparentContradiction]:
+        return [c for c in self.contradictions if not c.is_coherent]
+
+    @property
+    def coherent_fraction(self) -> float:
+        if not self.contradictions:
+            return 1.0
+        return len(self.coherent) / self.total
+
+    def by_pattern(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for c in self.contradictions:
+            counts[c.pattern.value] = counts.get(c.pattern.value, 0) + 1
+        return counts
+
+
+def _data_related(
+    denial_data: str, permission_data: str, taxonomy: Taxonomy | None
+) -> tuple[bool, bool]:
+    """(related, permission_is_narrower) for two data terms."""
+    if denial_data == permission_data:
+        return True, False
+    if taxonomy is None:
+        return False, False
+    if denial_data in taxonomy and permission_data in taxonomy:
+        if taxonomy.is_ancestor(denial_data, permission_data):
+            return True, True
+        if taxonomy.is_ancestor(permission_data, denial_data):
+            return True, False
+    return False, False
+
+
+def find_contradictions(
+    practices: list[AnnotatedPractice],
+    *,
+    data_taxonomy: Taxonomy | None = None,
+    same_sender_only: bool = True,
+) -> ContradictionReport:
+    """Scan practices for apparent contradictions.
+
+    Args:
+        practices: Phase 1 output for one policy.
+        data_taxonomy: when given, hierarchically related data types are
+            also compared ("location data" vs "gps location").
+        same_sender_only: restrict comparisons to the same sender, which is
+            the PolicyLint setting (a first-party denial is not contradicted
+            by a user action).
+    """
+    report = ContradictionReport()
+    denials = [p for p in practices if not p.permission]
+    permissions = [p for p in practices if p.permission]
+    permissions_by_group: dict[int, list[AnnotatedPractice]] = {}
+    for p in permissions:
+        group = _conflict_group(p.action.lower())
+        if group is not None:
+            permissions_by_group.setdefault(group, []).append(p)
+
+    seen: set[tuple[str, str]] = set()
+    for denial in denials:
+        group = _conflict_group(denial.action.lower())
+        if group is None:
+            continue
+        for permission in permissions_by_group.get(group, []):
+            if same_sender_only and (
+                permission.sender.lower() != denial.sender.lower()
+            ):
+                continue
+            related, narrower = _data_related(
+                denial.data_type.lower(),
+                permission.data_type.lower(),
+                data_taxonomy,
+            )
+            if not related:
+                continue
+            key = (denial.segment_id + denial.data_type, permission.segment_id + permission.data_type)
+            if key in seen:
+                continue
+            seen.add(key)
+            pattern = classify_exception(
+                denial, permission, data_is_narrower=narrower
+            )
+            report.contradictions.append(
+                ApparentContradiction(
+                    denial=denial, permission=permission, pattern=pattern
+                )
+            )
+    return report

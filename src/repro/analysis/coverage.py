@@ -1,0 +1,82 @@
+"""Coverage and gap analysis over an extracted policy model.
+
+Answers the questions a compliance review asks of the extraction: which
+data types are collected but never covered by a retention statement, which
+sharing happens without any condition, where the vague terms concentrate,
+and how much of the policy is formally decidable versus dependent on
+uninterpreted predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.graphs import NODE_DATA, PolicyGraph
+from repro.nlp.lexicon import SHARING_VERBS
+
+_RETENTION_ACTIONS = frozenset({"retain", "store", "keep", "preserve", "delete", "erase", "remove"})
+_COLLECTION_ACTIONS = frozenset({"collect", "gather", "obtain", "access", "record", "log", "receive"})
+
+
+@dataclass(slots=True)
+class CoverageReport:
+    """Gap metrics for one policy model."""
+
+    collected_data_types: set[str] = field(default_factory=set)
+    retained_data_types: set[str] = field(default_factory=set)
+    shared_data_types: set[str] = field(default_factory=set)
+    collection_without_retention: set[str] = field(default_factory=set)
+    unconditional_sharing: list[str] = field(default_factory=list)  # edge descriptions
+    vague_term_counts: dict[str, int] = field(default_factory=dict)
+    conditional_edge_fraction: float = 0.0
+    vague_edge_fraction: float = 0.0
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "collected_data_types": len(self.collected_data_types),
+            "retained_data_types": len(self.retained_data_types),
+            "shared_data_types": len(self.shared_data_types),
+            "collection_without_retention": len(self.collection_without_retention),
+            "unconditional_sharing_edges": len(self.unconditional_sharing),
+            "distinct_vague_terms": len(self.vague_term_counts),
+            "conditional_edge_fraction": round(self.conditional_edge_fraction, 3),
+            "vague_edge_fraction": round(self.vague_edge_fraction, 3),
+        }
+
+
+def coverage_report(graph: PolicyGraph) -> CoverageReport:
+    """Compute gap metrics from a policy graph."""
+    report = CoverageReport()
+    data_nodes = set(graph.nodes_of_kind(NODE_DATA))
+    edges = graph.edges()
+    company = graph.company.lower()
+
+    for edge in edges:
+        if edge.target not in data_nodes:
+            continue
+        action = edge.action.lower()
+        if edge.source == company and edge.permission:
+            if action in _COLLECTION_ACTIONS:
+                report.collected_data_types.add(edge.target)
+            if action in _RETENTION_ACTIONS:
+                report.retained_data_types.add(edge.target)
+            if action in SHARING_VERBS:
+                report.shared_data_types.add(edge.target)
+                if edge.condition is None:
+                    report.unconditional_sharing.append(edge.describe())
+        for _phrase, predicate in edge.vague_terms:
+            report.vague_term_counts[predicate] = (
+                report.vague_term_counts.get(predicate, 0) + 1
+            )
+
+    report.collection_without_retention = (
+        report.collected_data_types - report.retained_data_types
+    )
+    if edges:
+        report.conditional_edge_fraction = sum(
+            1 for e in edges if e.is_conditional
+        ) / len(edges)
+        report.vague_edge_fraction = sum(1 for e in edges if e.vague_terms) / len(
+            edges
+        )
+    return report

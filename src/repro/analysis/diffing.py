@@ -1,0 +1,83 @@
+"""Cross-version policy diffing for policy authors.
+
+Segment-level diffs come for free from content hashing; practice-level
+diffs show what actually changed about data handling: which practices were
+introduced, which were dropped, and which data types gained or lost
+conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.extraction import ExtractionResult
+from repro.core.parameters import AnnotatedPractice
+from repro.core.segmenter import SegmentDiff, diff_segments
+
+
+def _practice_key(p: AnnotatedPractice) -> tuple[str, str, str, str, bool]:
+    return (
+        p.sender.lower(),
+        p.action.lower(),
+        p.data_type.lower(),
+        (p.receiver or "").lower(),
+        p.permission,
+    )
+
+
+@dataclass(slots=True)
+class PolicyDiff:
+    """What changed between two policy versions."""
+
+    segments: SegmentDiff
+    added_practices: list[AnnotatedPractice] = field(default_factory=list)
+    removed_practices: list[AnnotatedPractice] = field(default_factory=list)
+    condition_changes: list[tuple[AnnotatedPractice, AnnotatedPractice]] = field(
+        default_factory=list
+    )  # (old, new) same practice, different condition
+
+    @property
+    def is_empty(self) -> bool:
+        return (
+            not self.segments.added
+            and not self.segments.removed
+            and not self.added_practices
+            and not self.removed_practices
+            and not self.condition_changes
+        )
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "segments_added": len(self.segments.added),
+            "segments_removed": len(self.segments.removed),
+            "segments_unchanged": len(self.segments.unchanged),
+            "practices_added": len(self.added_practices),
+            "practices_removed": len(self.removed_practices),
+            "condition_changes": len(self.condition_changes),
+        }
+
+
+def diff_policies(old: ExtractionResult, new: ExtractionResult) -> PolicyDiff:
+    """Compare two extraction results at segment and practice level."""
+    seg_diff = diff_segments(old.segments, new.segments)
+    old_by_key: dict[tuple, list[AnnotatedPractice]] = {}
+    for p in old.practices:
+        old_by_key.setdefault(_practice_key(p), []).append(p)
+    new_by_key: dict[tuple, list[AnnotatedPractice]] = {}
+    for p in new.practices:
+        new_by_key.setdefault(_practice_key(p), []).append(p)
+
+    diff = PolicyDiff(segments=seg_diff)
+    for key, new_items in new_by_key.items():
+        old_items = old_by_key.get(key)
+        if old_items is None:
+            diff.added_practices.extend(new_items)
+            continue
+        old_conditions = {p.condition for p in old_items}
+        for item in new_items:
+            if item.condition not in old_conditions:
+                diff.condition_changes.append((old_items[0], item))
+    for key, old_items in old_by_key.items():
+        if key not in new_by_key:
+            diff.removed_practices.extend(old_items)
+    return diff

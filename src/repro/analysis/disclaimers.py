@@ -1,0 +1,164 @@
+"""Incomplete-disclaimer detection.
+
+The paper's structured representation "enables detection of policy
+conflicts and incomplete disclaimers" (§2).  Conflicts live in
+:mod:`repro.analysis.contradictions`; this module covers the disclaimer
+side — practices whose disclosure chain is missing a link:
+
+* **shared-but-never-collected** data: the policy discloses sharing a data
+  type whose collection is never disclosed;
+* **sensitive data without consent**: practices on sensitive categories
+  (biometric, health, financial, precise location) that carry no
+  consent/choice condition;
+* **external dependencies** (Challenge 4): conditions that reference
+  context outside the policy — account settings, features, or applicable
+  law — which cannot be evaluated from the text alone.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.graphs import PolicyGraph
+from repro.nlp.lexicon import SHARING_VERBS
+
+_COLLECTION_ACTIONS = frozenset(
+    {"collect", "gather", "obtain", "access", "record", "log", "receive", "provide"}
+)
+
+#: Signal words marking a data type as sensitive.
+_SENSITIVE_MARKERS = (
+    "biometric",
+    "faceprint",
+    "voiceprint",
+    "fingerprint",
+    "health",
+    "medical",
+    "diagnos",
+    "medication",
+    "financial",
+    "credit card",
+    "precise location",
+    "government identification",
+)
+
+#: Conditions that count as a consent/choice gate.
+_CONSENT_MARKERS = (
+    "consent",
+    "opt out",
+    "opt in",
+    "opt-out",
+    "opt-in",
+    "you enable",
+    "you choose",
+    "your settings",
+)
+
+#: Conditions that reference context external to the policy text.
+_EXTERNAL_PATTERNS = (
+    (re.compile(r"\b(?:required|permitted)\s+by\b|\bapplicable law\b|\blegal\b", re.I), "law"),
+    (re.compile(r"\bsettings?\b", re.I), "application settings"),
+    (re.compile(r"\bfeature\b", re.I), "application feature"),
+    (re.compile(r"\bjurisdiction\b", re.I), "jurisdiction"),
+    (re.compile(r"\bcorporate transaction\b", re.I), "corporate event"),
+)
+
+
+def is_sensitive(data_type: str) -> bool:
+    """Heuristic sensitivity classification of a data-type term."""
+    lowered = data_type.lower()
+    return any(marker in lowered for marker in _SENSITIVE_MARKERS)
+
+
+@dataclass(slots=True)
+class DisclaimerReport:
+    """Disclosure gaps found in one policy graph."""
+
+    shared_but_not_collected: set[str] = field(default_factory=set)
+    sensitive_without_consent: list[str] = field(default_factory=list)  # edge descriptions
+    external_dependencies: dict[str, list[str]] = field(default_factory=dict)  # kind -> conditions
+
+    @property
+    def total_findings(self) -> int:
+        return (
+            len(self.shared_but_not_collected)
+            + len(self.sensitive_without_consent)
+            + sum(len(v) for v in self.external_dependencies.values())
+        )
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "shared_but_not_collected": len(self.shared_but_not_collected),
+            "sensitive_without_consent": len(self.sensitive_without_consent),
+            "external_dependency_kinds": len(self.external_dependencies),
+            "external_dependency_conditions": sum(
+                len(v) for v in self.external_dependencies.values()
+            ),
+        }
+
+
+def find_incomplete_disclaimers(graph: PolicyGraph) -> DisclaimerReport:
+    """Scan a policy graph for disclosure gaps."""
+    report = DisclaimerReport()
+    company = graph.company.lower()
+    collected: set[str] = set()
+    shared: set[str] = set()
+
+    edges = graph.edges()
+    for edge in edges:
+        if not edge.permission:
+            continue
+        action = edge.action.lower()
+        # Collection disclosure comes from the company or the user's own
+        # provision — not from derived receiver-side edges.
+        if (
+            action in _COLLECTION_ACTIONS
+            and not edge.derived
+            and edge.source in (company, "user")
+        ):
+            collected.add(edge.target)
+        if edge.source == company and action in SHARING_VERBS:
+            shared.add(edge.target)
+            if is_sensitive(edge.target) and not _has_consent_gate(edge.condition):
+                report.sensitive_without_consent.append(edge.describe())
+        if edge.condition:
+            for pattern, kind in _EXTERNAL_PATTERNS:
+                if pattern.search(edge.condition):
+                    bucket = report.external_dependencies.setdefault(kind, [])
+                    if edge.condition not in bucket:
+                        bucket.append(edge.condition)
+                    break
+
+    # A shared data type counts as collected if the exact term or a
+    # hierarchy relative was disclosed as collected.
+    for term in shared:
+        closure = graph.data_closure(term)
+        if not (closure & collected):
+            report.shared_but_not_collected.add(term)
+    return report
+
+
+def _has_consent_gate(condition: str | None) -> bool:
+    if condition is None:
+        return False
+    lowered = condition.lower()
+    return any(marker in lowered for marker in _CONSENT_MARKERS)
+
+
+def render_disclaimers(report: DisclaimerReport, *, limit: int = 10) -> str:
+    """Human-readable incomplete-disclaimer report."""
+    lines = ["incomplete disclaimers:"]
+    for key, value in report.summary().items():
+        lines.append(f"  {key}: {value}")
+    if report.shared_but_not_collected:
+        lines.append("shared but never disclosed as collected:")
+        lines.extend(f"  - {t}" for t in sorted(report.shared_but_not_collected)[:limit])
+    if report.sensitive_without_consent:
+        lines.append("sensitive data practices lacking a consent gate:")
+        lines.extend(f"  - {d}" for d in report.sensitive_without_consent[:limit])
+    if report.external_dependencies:
+        lines.append("conditions depending on external context (Challenge 4):")
+        for kind, conditions in sorted(report.external_dependencies.items()):
+            lines.append(f"  [{kind}] e.g. {conditions[0]!r} (+{len(conditions) - 1} more)")
+    return "\n".join(lines)

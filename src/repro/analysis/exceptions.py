@@ -1,0 +1,64 @@
+"""Exception-pattern classification.
+
+Given a general denial ("we do not share location data") and a later
+permissive statement on the same data ("we share location data with mapping
+services when you enable navigation"), decide whether the pair is a
+*coherent exception* — the specific rule carves a scoped exception out of
+the general one — or a genuine contradiction.  PolicyLint found that most
+apparent contradictions in real policies are coherent exceptions; the
+classifier encodes the cues a human reviewer uses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.parameters import AnnotatedPractice
+
+
+class ExceptionPattern(enum.Enum):
+    """How an apparent contradiction resolves."""
+
+    CONDITIONAL_EXCEPTION = "conditional_exception"  # carve-out has a condition
+    RECEIVER_SCOPED = "receiver_scoped"  # carve-out names a specific receiver
+    NARROWER_DATA = "narrower_data"  # carve-out concerns a subtype of the data
+    CONTRADICTION = "contradiction"  # no scoping at all: genuinely conflicting
+
+    @property
+    def is_coherent(self) -> bool:
+        return self is not ExceptionPattern.CONTRADICTION
+
+
+_BROAD_RECEIVERS = frozenset(
+    {"third parties", "third party", "anyone", "any party", "others", None}
+)
+
+
+def classify_exception(
+    denial: AnnotatedPractice,
+    permission: AnnotatedPractice,
+    *,
+    data_is_narrower: bool = False,
+) -> ExceptionPattern:
+    """Classify the relationship between a denial and a permission.
+
+    Args:
+        denial: the general negative statement (``permission == False``).
+        permission: the permissive statement on the same (or related) data.
+        data_is_narrower: True when the permissive statement's data type is
+            a strict descendant of the denial's in the hierarchy.
+
+    Scoping cues are checked in order of strength: an explicit condition, a
+    named (non-generic) receiver, and a narrower data type.  A permissive
+    statement with none of these contradicts the denial outright.
+    """
+    if permission.condition:
+        return ExceptionPattern.CONDITIONAL_EXCEPTION
+    receiver = permission.receiver.lower() if permission.receiver else None
+    denial_receiver = denial.receiver.lower() if denial.receiver else None
+    if receiver not in _BROAD_RECEIVERS and receiver != denial_receiver:
+        return ExceptionPattern.RECEIVER_SCOPED
+    if data_is_narrower:
+        return ExceptionPattern.NARROWER_DATA
+    return ExceptionPattern.CONTRADICTION

@@ -1,0 +1,70 @@
+"""Plain-text rendering of analysis results."""
+
+from __future__ import annotations
+
+from repro.analysis.contradictions import ContradictionReport
+from repro.analysis.coverage import CoverageReport
+from repro.analysis.diffing import PolicyDiff
+
+
+def render_contradictions(report: ContradictionReport, *, limit: int = 15) -> str:
+    """Human-readable apparent-contradiction report."""
+    lines = [
+        f"apparent contradictions: {report.total}",
+        f"  coherent exception patterns: {len(report.coherent)} "
+        f"({report.coherent_fraction:.1%})",
+        f"  genuine contradictions:      {len(report.genuine)}",
+        "by pattern: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(report.by_pattern().items())),
+    ]
+    if report.genuine:
+        lines.append("genuine contradictions needing review:")
+        lines.extend("  " + c.describe() for c in report.genuine[:limit])
+    return "\n".join(lines)
+
+
+def render_coverage(report: CoverageReport, *, limit: int = 10) -> str:
+    """Human-readable coverage/gap report."""
+    summary = report.summary()
+    lines = ["coverage report:"]
+    lines.extend(f"  {key}: {value}" for key, value in summary.items())
+    if report.collection_without_retention:
+        gaps = sorted(report.collection_without_retention)
+        lines.append("collected but never covered by a retention statement:")
+        lines.extend(f"  - {g}" for g in gaps[:limit])
+        if len(gaps) > limit:
+            lines.append(f"  ... and {len(gaps) - limit} more")
+    if report.vague_term_counts:
+        lines.append("most frequent vague terms:")
+        ranked = sorted(report.vague_term_counts.items(), key=lambda kv: -kv[1])
+        lines.extend(f"  {name}: {count}" for name, count in ranked[:limit])
+    return "\n".join(lines)
+
+
+def render_diff(diff: PolicyDiff, *, limit: int = 10) -> str:
+    """Human-readable cross-version diff report."""
+    summary = diff.summary()
+    lines = ["policy diff:"]
+    lines.extend(f"  {key}: {value}" for key, value in summary.items())
+    if diff.added_practices:
+        lines.append("new practices:")
+        lines.extend(
+            f"  + {p.sender} {p.action} {p.data_type}"
+            + (f" -> {p.receiver}" if p.receiver else "")
+            for p in diff.added_practices[:limit]
+        )
+    if diff.removed_practices:
+        lines.append("removed practices:")
+        lines.extend(
+            f"  - {p.sender} {p.action} {p.data_type}"
+            + (f" -> {p.receiver}" if p.receiver else "")
+            for p in diff.removed_practices[:limit]
+        )
+    if diff.condition_changes:
+        lines.append("condition changes:")
+        lines.extend(
+            f"  ~ {old.sender} {old.action} {old.data_type}: "
+            f"{old.condition!r} -> {new.condition!r}"
+            for old, new in diff.condition_changes[:limit]
+        )
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""User-rights audit: what can the data subject actually do?
+
+The paper's user-facing story (§5): "Users query whether their data
+handling actually complies with stated policies."  GDPR-style compliance
+hinges on rights statements — access, deletion, correction, portability,
+objection — and on whether those rights cover the data the policy
+collects.  This module inventories the rights the policy grants and the
+data types left without a deletion path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.graphs import NODE_DATA, PolicyGraph
+from repro.core.parameters import AnnotatedPractice
+
+#: Right name -> action verbs that grant it when the user is the sender
+#: (or the company acts on the user's request).
+RIGHT_ACTIONS: dict[str, frozenset[str]] = {
+    "access": frozenset({"access", "view", "download"}),
+    "deletion": frozenset({"delete", "erase", "remove"}),
+    "correction": frozenset({"correct", "update", "edit"}),
+    "portability": frozenset({"download", "export"}),
+    "objection": frozenset({"object", "opt", "restrict"}),
+}
+
+_COLLECTION_ACTIONS = frozenset(
+    {"collect", "gather", "obtain", "access", "record", "log", "receive", "provide"}
+)
+
+#: Condition fragments indicating the right is exercised through the user.
+_USER_CHANNEL_MARKERS = ("settings", "contacting", "request", "account")
+
+
+@dataclass(slots=True)
+class RightGrant:
+    """One granted right with its scope and channel."""
+
+    right: str
+    data_type: str
+    channel: str  # condition text or "unconditional"
+    segment_id: str
+
+
+@dataclass(slots=True)
+class RightsReport:
+    """Rights inventory for one policy."""
+
+    grants: list[RightGrant] = field(default_factory=list)
+    rights_present: set[str] = field(default_factory=set)
+    rights_absent: set[str] = field(default_factory=set)
+    collected_without_deletion: set[str] = field(default_factory=set)
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "grants": len(self.grants),
+            "rights_present": sorted(self.rights_present),
+            "rights_absent": sorted(self.rights_absent),
+            "collected_without_deletion": len(self.collected_without_deletion),
+        }
+
+    def render(self, *, limit: int = 10) -> str:
+        lines = ["user rights audit:"]
+        for key, value in self.summary().items():
+            lines.append(f"  {key}: {value}")
+        if self.grants:
+            lines.append("sample grants:")
+            lines.extend(
+                f"  - {g.right}: {g.data_type} (via {g.channel})"
+                for g in self.grants[:limit]
+            )
+        if self.collected_without_deletion:
+            gaps = sorted(self.collected_without_deletion)
+            lines.append("collected data with no stated deletion path:")
+            lines.extend(f"  - {g}" for g in gaps[:limit])
+            if len(gaps) > limit:
+                lines.append(f"  ... and {len(gaps) - limit} more")
+        return "\n".join(lines)
+
+
+def _right_for(practice: AnnotatedPractice) -> str | None:
+    action = practice.action.lower()
+    for right, verbs in RIGHT_ACTIONS.items():
+        if action in verbs:
+            return right
+    return None
+
+
+def rights_report(
+    practices: list[AnnotatedPractice], graph: PolicyGraph
+) -> RightsReport:
+    """Inventory the rights granted by ``practices`` and find gaps.
+
+    A practice counts as a rights grant when either the *user* performs a
+    rights action ("you may delete your data"), or the company performs it
+    through a user-facing channel ("we will delete ... if you request").
+    """
+    report = RightsReport()
+    company = graph.company.lower()
+
+    for practice in practices:
+        if not practice.permission:
+            continue
+        right = _right_for(practice)
+        if right is None:
+            continue
+        sender = practice.sender.lower()
+        condition = (practice.condition or "").lower()
+        user_channel = sender == "user" or any(
+            marker in condition for marker in _USER_CHANNEL_MARKERS
+        )
+        if not user_channel:
+            continue
+        report.grants.append(
+            RightGrant(
+                right=right,
+                data_type=practice.data_type.lower(),
+                channel=practice.condition or "unconditional",
+                segment_id=practice.segment_id,
+            )
+        )
+        report.rights_present.add(right)
+
+    report.rights_absent = set(RIGHT_ACTIONS) - report.rights_present
+
+    # Deletion-coverage gap: collected data types with no deletion grant
+    # covering them (directly or via a hierarchy relative).
+    deletable: set[str] = set()
+    for grant in report.grants:
+        if grant.right == "deletion":
+            deletable |= graph.data_closure(grant.data_type)
+    # A blanket grant on generic terms covers everything.
+    blanket = bool(
+        deletable
+        & {"data", "information", "personal information", "personal data", "account"}
+    )
+    data_nodes = set(graph.nodes_of_kind(NODE_DATA))
+    for edge in graph.edges():
+        if (
+            edge.permission
+            and edge.source in (company, "user")
+            and not edge.derived
+            and edge.action in _COLLECTION_ACTIONS
+            and edge.target in data_nodes
+        ):
+            if blanket or graph.data_closure(edge.target) & deletable:
+                continue
+            report.collected_without_deletion.add(edge.target)
+    return report

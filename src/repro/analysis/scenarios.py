@@ -1,0 +1,149 @@
+"""Scenario testing: verify a policy against a compliance suite.
+
+The paper's company-facing use case (§5): "Companies test their privacy
+policies against specific scenarios to ensure consistency."  A scenario is
+a data-practice question plus the outcome the company expects; running the
+suite produces a pass/fail compliance report that is stable enough to run
+in CI against every policy revision.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.verify import Verdict
+from repro.errors import ReproError
+
+
+class Expectation(enum.Enum):
+    """What a scenario author expects of a query."""
+
+    VALID = "valid"  # must follow unconditionally
+    INVALID = "invalid"  # must not follow, even conditionally
+    CONDITIONAL = "conditional"  # must follow only under vague conditions
+    ANY = "any"  # informational: never fails
+
+    @classmethod
+    def parse(cls, raw: str) -> "Expectation":
+        try:
+            return cls(raw.strip().lower())
+        except ValueError as exc:
+            valid = ", ".join(e.value for e in cls)
+            raise ReproError(
+                f"unknown expectation {raw!r}; expected one of: {valid}"
+            ) from exc
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """One compliance check: a question plus its expected outcome."""
+
+    question: str
+    expectation: Expectation
+    description: str = ""
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Scenario":
+        return cls(
+            question=str(raw["question"]),
+            expectation=Expectation.parse(str(raw.get("expectation", "any"))),
+            description=str(raw.get("description", "")),
+        )
+
+
+@dataclass(slots=True)
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    scenario: Scenario
+    verdict: Verdict
+    conditionally_valid: bool | None
+    passed: bool
+    detail: str = ""
+
+
+@dataclass(slots=True)
+class ScenarioReport:
+    """Results of a full suite run."""
+
+    results: list[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for r in self.results if r.passed)
+
+    @property
+    def failed(self) -> list[ScenarioResult]:
+        return [r for r in self.results if not r.passed]
+
+    @property
+    def all_passed(self) -> bool:
+        return not self.failed
+
+    def render(self) -> str:
+        lines = [f"scenario suite: {self.passed}/{self.total} passed"]
+        for result in self.results:
+            mark = "PASS" if result.passed else "FAIL"
+            lines.append(
+                f"  [{mark}] {result.scenario.question}"
+                f" (expected {result.scenario.expectation.value},"
+                f" got {result.verdict}"
+                + (
+                    f", conditionally valid={result.conditionally_valid}"
+                    if result.conditionally_valid is not None
+                    else ""
+                )
+                + ")"
+            )
+            if result.detail and not result.passed:
+                lines.append(f"         {result.detail}")
+        return "\n".join(lines)
+
+
+def _judge(scenario: Scenario, verdict: Verdict, conditional: bool | None) -> tuple[bool, str]:
+    expect = scenario.expectation
+    if expect is Expectation.ANY:
+        return True, ""
+    if expect is Expectation.VALID:
+        return verdict is Verdict.VALID, "practice is not unconditionally entailed"
+    if expect is Expectation.INVALID:
+        ok = verdict is Verdict.INVALID and conditional is not True
+        return ok, "practice follows (at least conditionally) from the policy"
+    # CONDITIONAL: not unconditionally valid, but valid when vague terms hold.
+    ok = verdict is Verdict.INVALID and conditional is True
+    return ok, "practice is not gated the way the scenario expects"
+
+
+def run_scenarios(pipeline, model, scenarios: list[Scenario]) -> ScenarioReport:
+    """Run every scenario through Phase 3 and judge against expectations."""
+    report = ScenarioReport()
+    for scenario in scenarios:
+        outcome = pipeline.query(model, scenario.question)
+        verdict = outcome.verdict
+        conditional = outcome.verification.conditionally_valid
+        passed, detail = _judge(scenario, verdict, conditional)
+        report.results.append(
+            ScenarioResult(
+                scenario=scenario,
+                verdict=verdict,
+                conditionally_valid=conditional,
+                passed=passed,
+                detail="" if passed else detail,
+            )
+        )
+    return report
+
+
+def load_scenarios(path: str | Path) -> list[Scenario]:
+    """Load a scenario suite from a JSON file (a list of objects)."""
+    raw = json.loads(Path(path).read_text("utf-8"))
+    if not isinstance(raw, list):
+        raise ReproError("scenario file must contain a JSON list")
+    return [Scenario.from_dict(item) for item in raw]

@@ -1,0 +1,183 @@
+"""Command-line interface.
+
+Usage (also available as ``python -m repro``)::
+
+    repro-policy process POLICY.txt [--artifacts DIR]
+    repro-policy query POLICY.txt "TikTak collects the email address." [--smtlib]
+    repro-policy audit POLICY.txt
+    repro-policy diff OLD.txt NEW.txt
+    repro-policy corpus {tiktak,metabook,meditrack} [--out FILE]
+
+Every command runs fully offline on the bundled substrates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import PolicyPipeline
+from repro.analysis import (
+    coverage_report,
+    diff_policies,
+    find_contradictions,
+    render_contradictions,
+    render_coverage,
+    render_diff,
+)
+from repro.core.extraction import extract_policy
+from repro.errors import ReproError
+
+
+def _read_policy(path: str) -> str:
+    text = Path(path).read_text("utf-8")
+    if not text.strip():
+        raise ReproError(f"policy file {path} is empty")
+    return text
+
+
+def _cmd_process(args: argparse.Namespace) -> int:
+    pipeline = PolicyPipeline()
+    model = pipeline.process(_read_policy(args.policy))
+    print(f"company: {model.company}")
+    print(f"segments: {len(model.extraction.segments)}")
+    print(f"practices: {model.extraction.num_practices}")
+    for key, value in model.statistics.as_dict().items():
+        print(f"{key}: {value}")
+    print(f"data taxonomy: {len(model.data_taxonomy)} nodes, depth {model.data_taxonomy.max_depth()}")
+    print(f"entity taxonomy: {len(model.entity_taxonomy)} nodes")
+    usage = pipeline.llm.stats
+    print(f"llm calls: {usage.calls} ({usage.cache_hits} cache hits)")
+    if args.artifacts:
+        pipeline.save_artifacts(model, args.artifacts)
+        print(f"artifacts written to {args.artifacts}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    pipeline = PolicyPipeline()
+    model = pipeline.process(_read_policy(args.policy))
+    outcome = pipeline.query(model, args.question)
+    print(outcome.summary())
+    if args.smtlib:
+        print("\n--- SMT-LIB script ---")
+        print(outcome.verification.smtlib_text)
+    # Exit code communicates the verdict for scripting: 0 valid, 1 invalid,
+    # 2 unknown.
+    return {"VALID": 0, "INVALID": 1, "UNKNOWN": 2}[outcome.verdict.value]
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    pipeline = PolicyPipeline()
+    model = pipeline.process(_read_policy(args.policy))
+    report = find_contradictions(
+        model.extraction.practices, data_taxonomy=model.data_taxonomy
+    )
+    print(render_contradictions(report))
+    print()
+    print(render_coverage(coverage_report(model.graph)))
+    return 0 if not report.genuine else 1
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    pipeline = PolicyPipeline()
+    old = extract_policy(pipeline.runner, _read_policy(args.old))
+    new = extract_policy(pipeline.runner, _read_policy(args.new), company=old.company)
+    diff = diff_policies(old, new)
+    print(render_diff(diff))
+    return 0 if diff.is_empty else 1
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.analysis.scenarios import load_scenarios, run_scenarios
+
+    pipeline = PolicyPipeline()
+    model = pipeline.process(_read_policy(args.policy))
+    scenarios = load_scenarios(args.suite)
+    report = run_scenarios(pipeline, model, scenarios)
+    print(report.render())
+    return 0 if report.all_passed else 1
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.corpus import meditrack_policy, metabook_policy, tiktak_policy
+
+    doc = {
+        "tiktak": tiktak_policy,
+        "metabook": metabook_policy,
+        "meditrack": meditrack_policy,
+    }[args.name]()
+    if args.out:
+        Path(args.out).write_text(doc.text, "utf-8")
+        print(f"wrote {doc.word_count:,} words to {args.out}")
+    else:
+        print(doc.text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-policy",
+        description="Privacy-policy extraction and verification (HotNets '25 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("process", help="run Phases 1+2 and print statistics")
+    p.add_argument("policy", help="path to a policy text file")
+    p.add_argument("--artifacts", help="directory for JSON pipeline artifacts")
+    p.set_defaults(func=_cmd_process)
+
+    p = sub.add_parser("query", help="verify a data-practice question")
+    p.add_argument("policy", help="path to a policy text file")
+    p.add_argument("question", help='declarative query, e.g. "Acme collects the email."')
+    p.add_argument("--smtlib", action="store_true", help="print the generated SMT-LIB")
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("audit", help="contradiction and coverage report")
+    p.add_argument("policy", help="path to a policy text file")
+    p.set_defaults(func=_cmd_audit)
+
+    p = sub.add_parser("diff", help="compare two policy versions")
+    p.add_argument("old", help="path to the old version")
+    p.add_argument("new", help="path to the new version")
+    p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser(
+        "scenarios", help="run a JSON compliance-scenario suite against a policy"
+    )
+    p.add_argument("policy", help="path to a policy text file")
+    p.add_argument("suite", help="path to a JSON scenario suite")
+    p.set_defaults(func=_cmd_scenarios)
+
+    p = sub.add_parser("corpus", help="emit a bundled synthetic policy")
+    p.add_argument("name", choices=["tiktak", "metabook", "meditrack"])
+    p.add_argument("--out", help="write to a file instead of stdout")
+    p.set_defaults(func=_cmd_corpus)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like any
+        # well-behaved CLI.
+        try:
+            sys.stdout.close()
+        except Exception:  # noqa: BLE001
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The paper's contribution: the three-phase extraction/verification pipeline.
+
+Phase 1 (:mod:`extraction`): company-name extraction, coreference
+resolution, content-hashed segmentation, and LLM semantic-parameter
+extraction with vague-term preservation.
+
+Phase 2 (:mod:`hierarchy`, :mod:`graphs`): Chain-of-Layer taxonomy
+induction over the extracted entity and data vocabularies, and the
+entity–data practice graph with conditions as boolean predicates on edges.
+
+Phase 3 (:mod:`translation`, :mod:`subgraph`, :mod:`encode`,
+:mod:`verify`): embedding-based query translation, relevant-subgraph
+extraction, FOL encoding, SMT-LIB compilation, and solver-backed
+verification that reports VALID / INVALID / UNKNOWN together with the
+uninterpreted (vague) predicates the verdict depends on.
+
+:class:`~repro.core.pipeline.PolicyPipeline` orchestrates all of it,
+including caching and incremental updates.
+"""
+
+from repro.core.segmenter import Segment, diff_segments, segment_policy
+from repro.core.parameters import AnnotatedPractice
+from repro.core.extraction import ExtractionResult, extract_policy
+from repro.core.hierarchy import Taxonomy, chain_of_layer
+from repro.core.graphs import PolicyGraph, GraphStatistics
+from repro.core.translation import TranslationResult, translate_query_terms
+from repro.core.subgraph import Subgraph, extract_subgraph
+from repro.core.encode import EncodedQuery, encode_query
+from repro.core.verify import Verdict, VerificationResult, verify_encoded
+from repro.core.pipeline import PipelineConfig, PolicyModel, PolicyPipeline
+
+__all__ = [
+    "Segment",
+    "segment_policy",
+    "diff_segments",
+    "AnnotatedPractice",
+    "ExtractionResult",
+    "extract_policy",
+    "Taxonomy",
+    "chain_of_layer",
+    "PolicyGraph",
+    "GraphStatistics",
+    "TranslationResult",
+    "translate_query_terms",
+    "Subgraph",
+    "extract_subgraph",
+    "EncodedQuery",
+    "encode_query",
+    "Verdict",
+    "VerificationResult",
+    "verify_encoded",
+    "PolicyPipeline",
+    "PolicyModel",
+    "PipelineConfig",
+]

@@ -1,0 +1,99 @@
+"""Structured condition expressions.
+
+The extraction prompt preserves logical operators in conditions ("with
+your consent OR when required by law").  This module parses that structure
+so the FOL encoding can respect it: a disjunctive condition becomes an OR
+of uninterpreted predicates instead of one opaque blob, which matters for
+``check-sat-assuming`` exploration — satisfying *either* disjunct unlocks
+the practice.
+
+Grammar (lowest precedence first)::
+
+    expr  ::= conj (" or " conj)*
+    conj  ::= atom (" and " atom)*
+    atom  ::= any condition text
+
+Each atom maps to a canonical vague-term predicate when one is recognized,
+or to a ``cond_<mangled text>`` predicate otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.fol.terms import mangle
+from repro.nlp.lexicon import canonical_vague_predicate
+
+_OR_SPLIT_RE = re.compile(r"\s+(?:or|OR)\s+")
+_AND_SPLIT_RE = re.compile(r"\s+(?:and|AND)\s+")
+_MAX_NAME_LEN = 60
+
+
+@dataclass(frozen=True, slots=True)
+class ConditionAtom:
+    """One indivisible condition with its predicate name."""
+
+    text: str
+    predicate: str
+
+
+@dataclass(frozen=True, slots=True)
+class ConditionAnd:
+    """Conjunction of condition expressions."""
+
+    operands: tuple["ConditionExpr", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ConditionOr:
+    """Disjunction of condition expressions."""
+
+    operands: tuple["ConditionExpr", ...]
+
+
+ConditionExpr = ConditionAtom | ConditionAnd | ConditionOr
+
+
+def _atom(text: str) -> ConditionAtom:
+    text = text.strip(" ,;")
+    canonical = canonical_vague_predicate(text)
+    if canonical is None:
+        canonical = "cond_" + mangle(text)[:_MAX_NAME_LEN]
+    return ConditionAtom(text=text, predicate=canonical)
+
+
+def parse_condition(text: str) -> ConditionExpr:
+    """Parse a condition string into its AND/OR structure.
+
+    A text without top-level connectives parses to a single atom.
+    """
+    disjuncts = [part for part in _OR_SPLIT_RE.split(text) if part.strip()]
+
+    def conj(part: str) -> ConditionExpr:
+        conjuncts = [p for p in _AND_SPLIT_RE.split(part) if p.strip()]
+        if len(conjuncts) == 1:
+            return _atom(conjuncts[0])
+        return ConditionAnd(tuple(_atom(c) for c in conjuncts))
+
+    if len(disjuncts) == 1:
+        return conj(disjuncts[0])
+    return ConditionOr(tuple(conj(d) for d in disjuncts))
+
+
+def atoms_of(expr: ConditionExpr) -> list[ConditionAtom]:
+    """All atoms of a condition expression, in left-to-right order."""
+    if isinstance(expr, ConditionAtom):
+        return [expr]
+    out: list[ConditionAtom] = []
+    for op in expr.operands:
+        out.extend(atoms_of(op))
+    return out
+
+
+def describe(expr: ConditionExpr) -> str:
+    """Readable rendering of the parsed structure."""
+    if isinstance(expr, ConditionAtom):
+        return expr.predicate
+    joiner = " AND " if isinstance(expr, ConditionAnd) else " OR "
+    return "(" + joiner.join(describe(op) for op in expr.operands) + ")"

@@ -1,0 +1,428 @@
+"""Algorithm 1 end to end: the :class:`PolicyPipeline` orchestrator.
+
+``process`` runs Phases 1 and 2 over a policy and returns a
+:class:`PolicyModel`; ``query`` runs Phase 3 against a model; ``update``
+applies a new policy version incrementally, re-extracting only segments
+whose content hash changed.  Artifacts (segments, practices, graphs,
+embeddings) can be persisted as JSON for inspection, mirroring the paper's
+per-stage caching.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.encode import EncodedQuery, encode_query
+from repro.core.extraction import ExtractionResult, extract_policy
+from repro.core.graphs import NODE_DATA, NODE_ENTITY, PolicyGraph
+from repro.core.hierarchy import Taxonomy, chain_of_layer
+from repro.core.segmenter import diff_segments, segment_policy
+from repro.core.subgraph import Subgraph, extract_subgraph
+from repro.core.translation import TranslationResult, translate_query_terms
+from repro.core.verify import VerificationResult, verify_encoded
+from repro.embeddings.model import EmbeddingModel
+from repro.embeddings.search import edge_text
+from repro.embeddings.store import EmbeddingStore
+from repro.errors import QueryError
+from repro.llm.client import CachedLLM, LLMClient
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.tasks import TaskRunner
+from repro.solver.interface import SolverBudget
+
+
+@dataclass(slots=True)
+class PipelineConfig:
+    """Tunables for the three phases; defaults follow the paper."""
+
+    top_k: int = 10
+    min_similarity: float = 0.3
+    col_similarity_threshold: float = 0.0  # 0 disables the SciBERT-style filter
+    include_hierarchy_axioms: bool = True
+    simplify_formulas: bool = True
+    use_smtlib_roundtrip: bool = True
+    check_conditional: bool = True
+    solver_budget: SolverBudget = field(default_factory=SolverBudget)
+    max_subgraph_edges: int | None = None
+
+
+@dataclass(slots=True)
+class PolicyModel:
+    """Everything Phases 1 and 2 know about one policy version."""
+
+    company: str
+    extraction: ExtractionResult
+    data_taxonomy: Taxonomy
+    entity_taxonomy: Taxonomy
+    graph: PolicyGraph
+    store: EmbeddingStore
+    node_vocabulary: set[str] = field(default_factory=set)
+
+    @property
+    def statistics(self):
+        return self.graph.statistics()
+
+
+@dataclass(slots=True)
+class UpdateStats:
+    """Cost accounting for one incremental update."""
+
+    segments_total: int = 0
+    segments_reused: int = 0
+    segments_reextracted: int = 0
+    segments_removed: int = 0
+    seconds: float = 0.0
+
+    @property
+    def reuse_fraction(self) -> float:
+        if self.segments_total == 0:
+            return 1.0
+        return self.segments_reused / self.segments_total
+
+
+@dataclass(slots=True)
+class QueryOutcome:
+    """Full Phase 3 trace for one query."""
+
+    question: str
+    translations: dict[str, TranslationResult]
+    subgraph: Subgraph
+    encoded: EncodedQuery
+    verification: VerificationResult
+
+    @property
+    def verdict(self):
+        return self.verification.verdict
+
+    def summary(self) -> str:
+        lines = [f"query: {self.question}"]
+        changed = [t for t in self.translations.values() if t.changed]
+        if changed:
+            lines.append("translated terms:")
+            lines.extend(
+                f"  {t.original!r} -> {t.translated!r} (similarity {t.similarity:.3f})"
+                for t in changed
+            )
+        lines.append(f"relevant subgraph: {self.subgraph.num_edges} edges")
+        lines.append(self.verification.summary())
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable trace of the full Phase 3 run."""
+        return {
+            "question": self.question,
+            "translations": {
+                term: {
+                    "translated": t.translated,
+                    "similarity": round(t.similarity, 4),
+                    "verified": t.verified,
+                }
+                for term, t in self.translations.items()
+            },
+            "subgraph_edges": self.subgraph.num_edges,
+            "policy_formulas": self.encoded.num_policy_formulas,
+            "verification": self.verification.as_dict(),
+        }
+
+
+class PolicyPipeline:
+    """The paper's system: LLM extraction -> graphs -> FOL -> SMT."""
+
+    def __init__(
+        self,
+        llm: LLMClient | None = None,
+        embedding_model: EmbeddingModel | None = None,
+        config: PipelineConfig | None = None,
+    ) -> None:
+        self.llm = llm or CachedLLM(SimulatedLLM())
+        self.runner = TaskRunner(self.llm)
+        self.embedding_model = embedding_model or EmbeddingModel()
+        self.config = config or PipelineConfig()
+
+    # ------------------------------------------------------------------
+    # Phases 1 + 2
+    # ------------------------------------------------------------------
+
+    def process(self, policy_text: str, *, company: str | None = None) -> PolicyModel:
+        """Extract, organize, and index one policy version."""
+        extraction = extract_policy(self.runner, policy_text, company=company)
+        return self._build_model(extraction)
+
+    def _build_model(self, extraction: ExtractionResult) -> PolicyModel:
+        entities: list[str] = []
+        data_types: list[str] = []
+        seen: set[str] = set()
+        provisional = PolicyGraph(extraction.company)
+        for practice in extraction.practices:
+            provisional.add_practice(practice)
+        for node, attrs in provisional.graph.nodes(data=True):
+            if node in seen:
+                continue
+            seen.add(node)
+            if attrs.get("kind") == NODE_ENTITY:
+                entities.append(node)
+            elif attrs.get("kind") == NODE_DATA:
+                data_types.append(node)
+
+        similarity_model = (
+            self.embedding_model if self.config.col_similarity_threshold > 0 else None
+        )
+        data_taxonomy = chain_of_layer(
+            self.runner,
+            data_types,
+            "data",
+            similarity_model=similarity_model,
+            similarity_threshold=self.config.col_similarity_threshold,
+        )
+        entity_taxonomy = chain_of_layer(
+            self.runner,
+            entities,
+            "entity",
+            similarity_model=similarity_model,
+            similarity_threshold=self.config.col_similarity_threshold,
+        )
+
+        graph = PolicyGraph(
+            extraction.company,
+            data_taxonomy=data_taxonomy,
+            entity_taxonomy=entity_taxonomy,
+        )
+        graph.add_practices(extraction.practices)
+
+        store = EmbeddingStore(self.embedding_model)
+        vocabulary: set[str] = set()
+        for node in graph.graph.nodes:
+            store.add(node)
+            vocabulary.add(node)
+        for edge in graph.edges():
+            store.add(edge_text(edge.source, edge.action, edge.target))
+
+        return PolicyModel(
+            company=extraction.company,
+            extraction=extraction,
+            data_taxonomy=data_taxonomy,
+            entity_taxonomy=entity_taxonomy,
+            graph=graph,
+            store=store,
+            node_vocabulary=vocabulary,
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental updates
+    # ------------------------------------------------------------------
+
+    def update(
+        self,
+        model: PolicyModel,
+        new_policy_text: str,
+        *,
+        in_place: bool = False,
+    ) -> tuple[PolicyModel, UpdateStats]:
+        """Apply a new policy version, re-extracting only changed segments.
+
+        With ``in_place=False`` (default) a fresh model is rebuilt from the
+        (mostly cached) extraction.  With ``in_place=True`` the existing
+        model is *patched*: edges of removed segments are dropped, practices
+        of added segments are inserted, and only genuinely new vocabulary
+        runs through Chain-of-Layer — the paper's "update only those
+        branches" behaviour.  The passed-in model object is mutated and
+        returned.
+        """
+        start = time.monotonic()
+        old_segments = model.extraction.segments
+        new_segments = segment_policy(new_policy_text)
+        diff = diff_segments(old_segments, new_segments)
+
+        cached = {
+            seg.segment_id: model.extraction.practices_by_segment[seg.segment_id]
+            for seg in diff.unchanged
+            if seg.segment_id in model.extraction.practices_by_segment
+        }
+        extraction = extract_policy(
+            self.runner,
+            new_policy_text,
+            company=model.company,
+            cached=cached,
+        )
+        if in_place:
+            new_model = self._patch_model(model, extraction, diff)
+        else:
+            new_model = self._build_model(extraction)
+        stats = UpdateStats(
+            segments_total=len(new_segments),
+            segments_reused=len(diff.unchanged),
+            segments_reextracted=len(diff.added),
+            segments_removed=len(diff.removed),
+            seconds=time.monotonic() - start,
+        )
+        return new_model, stats
+
+    def _patch_model(
+        self, model: PolicyModel, extraction: ExtractionResult, diff
+    ) -> PolicyModel:
+        """Mutate ``model`` to reflect a new extraction incrementally."""
+        from repro.core.hierarchy import extend_taxonomy
+
+        graph = model.graph
+        for segment in diff.removed:
+            graph.remove_segment(segment.segment_id)
+
+        added_ids = {seg.segment_id for seg in diff.added}
+        new_practices = [
+            p for p in extraction.practices if p.segment_id in added_ids
+        ]
+        # Place genuinely new vocabulary before adding edges so closure
+        # queries see consistent hierarchies.
+        candidate_graph = PolicyGraph(model.company)
+        candidate_graph.add_practices(new_practices)
+        new_data, new_entities = [], []
+        for node, attrs in candidate_graph.graph.nodes(data=True):
+            if node in graph.graph:
+                continue
+            if attrs.get("kind") == NODE_DATA:
+                new_data.append(node)
+            elif attrs.get("kind") == NODE_ENTITY:
+                new_entities.append(node)
+        if new_data:
+            extend_taxonomy(self.runner, model.data_taxonomy, new_data)
+        if new_entities:
+            extend_taxonomy(self.runner, model.entity_taxonomy, new_entities)
+
+        graph.add_practices(new_practices)
+        for node in candidate_graph.graph.nodes:
+            model.store.add(node)
+            model.node_vocabulary.add(node)
+        for edge in new_practices:
+            model.store.add(
+                edge_text(edge.sender.lower(), edge.action.lower(), edge.data_type.lower())
+            )
+        model.extraction = extraction
+        return model
+
+    # ------------------------------------------------------------------
+    # Phase 3
+    # ------------------------------------------------------------------
+
+    def query(self, model: PolicyModel, question: str) -> QueryOutcome:
+        """Verify a data-practice question against the model.
+
+        Accepts both declarative statements ("TikTak collects the email.")
+        and questions ("Does TikTak collect my email?"), which are
+        normalized before extraction.
+        """
+        from repro.core.questions import is_question, normalize_question
+
+        normalized = question
+        if is_question(question):
+            normalized = normalize_question(question)
+        resolved = self.runner.resolve_coreferences(normalized, model.company)
+        candidates = self.runner.extract_parameters(resolved, model.company)
+        if not candidates:
+            raise QueryError(
+                f"could not extract a data practice from query: {question!r}"
+            )
+        params = candidates[0]
+
+        terms = [params.data_type]
+        if params.sender:
+            terms.append(params.sender)
+        if params.receiver:
+            terms.append(params.receiver)
+        translations = translate_query_terms(
+            self.runner,
+            model.store,
+            terms,
+            vocabulary=model.node_vocabulary,
+            k=self.config.top_k,
+            min_similarity=self.config.min_similarity,
+        )
+
+        def translated(term: str | None) -> str | None:
+            if term is None:
+                return None
+            result = translations.get(term)
+            return result.translated if result else term
+
+        from repro.llm.tasks import ExtractedParameters
+
+        translated_params = ExtractedParameters(
+            sender=translated(params.sender) or params.sender,
+            receiver=translated(params.receiver),
+            subject=params.subject,
+            data_type=translated(params.data_type) or params.data_type,
+            action=params.action,
+            condition=params.condition,
+            permission=params.permission,
+        )
+
+        subgraph = extract_subgraph(
+            model.graph,
+            [translated_params.data_type],
+            [t for t in (translated_params.sender, translated_params.receiver) if t],
+            use_hierarchy=self.config.include_hierarchy_axioms,
+            max_edges=self.config.max_subgraph_edges,
+        )
+        encoded = encode_query(
+            subgraph,
+            translated_params,
+            include_hierarchy_axioms=self.config.include_hierarchy_axioms,
+            simplify_formulas=self.config.simplify_formulas,
+        )
+        verification = verify_encoded(
+            encoded,
+            budget=self.config.solver_budget,
+            via_smtlib=self.config.use_smtlib_roundtrip,
+            check_conditional=self.config.check_conditional,
+        )
+        return QueryOutcome(
+            question=question,
+            translations=translations,
+            subgraph=subgraph,
+            encoded=encoded,
+            verification=verification,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save_artifacts(self, model: PolicyModel, directory: str | Path) -> None:
+        """Write inspectable JSON artifacts for every pipeline stage."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "segments.json").write_text(
+            json.dumps(
+                [
+                    {
+                        "segment_id": s.segment_id,
+                        "index": s.index,
+                        "section": s.section,
+                        "text": s.text,
+                    }
+                    for s in model.extraction.segments
+                ],
+                indent=1,
+            ),
+            "utf-8",
+        )
+        (directory / "practices.json").write_text(
+            json.dumps(
+                [p.as_dict() for p in model.extraction.practices], indent=1
+            ),
+            "utf-8",
+        )
+        (directory / "data_taxonomy.json").write_text(
+            json.dumps(model.data_taxonomy.as_edges(), indent=1), "utf-8"
+        )
+        (directory / "entity_taxonomy.json").write_text(
+            json.dumps(model.entity_taxonomy.as_edges(), indent=1), "utf-8"
+        )
+        (directory / "graph_stats.json").write_text(
+            json.dumps(model.statistics.as_dict(), indent=1), "utf-8"
+        )
+        (directory / "graph.dot").write_text(
+            model.graph.to_dot(max_edges=500), "utf-8"
+        )
+        model.store.save(directory / "embeddings.npz")

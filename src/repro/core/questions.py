@@ -1,0 +1,90 @@
+"""Interrogative-to-declarative query normalization.
+
+Users phrase queries as questions ("Does TikTok share my email with
+advertisers?"); the extraction prompt expects declarative data-practice
+statements.  This module rewrites the common question shapes:
+
+* ``Does/Do/Did X VERB ...?``      -> ``X VERB-s ...``
+* ``Can/May/Will/Would X VERB ...?`` -> ``X VERB-s ...``
+* ``Is X VERB-ing ...?``           -> ``X VERB-s ...``
+* ``Who receives my email?``       -> ``Someone receives my email.``
+
+First/second-person possessives are normalized to "the" so the extracted
+data type matches policy vocabulary ("my email" -> "the email").
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.nlp.lexicon import ACTION_VERBS
+from repro.nlp.morphology import lemmatize_verb
+
+_AUX_QUESTION_RE = re.compile(
+    r"^(?:does|do|did|can|could|may|might|will|would|shall|should)\s+(.*)$",
+    re.IGNORECASE,
+)
+_IS_GERUND_RE = re.compile(r"^(?:is|are|was|were)\s+(\S+)\s+(\w+ing)\b(.*)$", re.IGNORECASE)
+_WHO_RE = re.compile(r"^who\s+(.*)$", re.IGNORECASE)
+_POSSESSIVE_RE = re.compile(r"\b(?:my|our)\b", re.IGNORECASE)
+
+
+def _third_person(verb: str) -> str:
+    """Inflect a base-form verb for a third-person-singular subject."""
+    base = lemmatize_verb(verb)
+    if base.endswith(("s", "sh", "ch", "x", "z")):
+        return base + "es"
+    if base.endswith("y") and len(base) > 1 and base[-2] not in "aeiou":
+        return base[:-1] + "ies"
+    return base + "s"
+
+
+def _inflect_first_verb(clause: str) -> str:
+    """Find the first action verb in ``clause`` and inflect it."""
+    words = clause.split()
+    for i, word in enumerate(words):
+        if lemmatize_verb(word.lower()) in ACTION_VERBS:
+            words[i] = _third_person(word)
+            return " ".join(words)
+    return clause
+
+
+def is_question(text: str) -> bool:
+    """Cheap check: does ``text`` look like a question?"""
+    stripped = text.strip()
+    if stripped.endswith("?"):
+        return True
+    return bool(
+        _AUX_QUESTION_RE.match(stripped)
+        or _IS_GERUND_RE.match(stripped)
+        or _WHO_RE.match(stripped)
+    )
+
+
+def normalize_question(text: str) -> str:
+    """Rewrite a question as the declarative statement it asks about.
+
+    Declarative inputs pass through unchanged apart from possessive
+    normalization.
+    """
+    stripped = text.strip().rstrip("?").rstrip(".").strip()
+
+    match = _AUX_QUESTION_RE.match(stripped)
+    if match:
+        stripped = _inflect_first_verb(match.group(1))
+    else:
+        gerund = _IS_GERUND_RE.match(stripped)
+        if gerund:
+            subject, verb, rest = gerund.groups()
+            # _third_person lemmatizes, so the gerund maps straight to the
+            # inflected base ("sharing" -> "shares").
+            stripped = f"{subject} {_third_person(verb)}{rest}"
+        else:
+            who = _WHO_RE.match(stripped)
+            if who:
+                stripped = "Someone " + who.group(1)
+
+    stripped = _POSSESSIVE_RE.sub("the", stripped)
+    if not stripped.endswith("."):
+        stripped += "."
+    return stripped[0].upper() + stripped[1:]

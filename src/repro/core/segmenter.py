@@ -1,0 +1,103 @@
+"""Policy segmentation with content-hash identifiers.
+
+Each policy statement becomes a :class:`Segment` whose id is a hash of its
+normalized content.  Hash-stable ids are what make incremental updates
+possible: when a policy changes, unchanged statements keep their ids, so
+their cached extractions (and the graph edges derived from them) are
+reused, and only modified statements are re-extracted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+
+from repro.nlp.tokenizer import sentences
+
+_HEADING_RE = re.compile(r"^\d+\.\s+[A-Z][A-Za-z ,/&-]+$")
+_MIN_SEGMENT_WORDS = 3
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """One policy statement with a stable content-derived identifier."""
+
+    segment_id: str
+    text: str
+    index: int
+    section: str = ""
+
+    @staticmethod
+    def compute_id(text: str) -> str:
+        """Content hash of normalized text (whitespace-insensitive)."""
+        normalized = " ".join(text.split()).lower()
+        return hashlib.sha256(normalized.encode("utf-8")).hexdigest()[:16]
+
+
+def segment_policy(text: str) -> list[Segment]:
+    """Split a policy into statement segments.
+
+    Sentences under a numbered heading inherit that heading as their
+    section label.  Headings themselves and fragments shorter than
+    three words are dropped — they carry no data practices.
+    """
+    segments: list[Segment] = []
+    current_section = ""
+    index = 0
+    seen_ids: set[str] = set()
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if _HEADING_RE.match(stripped):
+            current_section = stripped.split(". ", 1)[-1]
+            continue
+        for sentence in sentences(stripped):
+            if len(sentence.split()) < _MIN_SEGMENT_WORDS:
+                continue
+            seg_id = Segment.compute_id(sentence)
+            if seg_id in seen_ids:
+                continue  # exact duplicates collapse to one segment
+            seen_ids.add(seg_id)
+            segments.append(
+                Segment(
+                    segment_id=seg_id,
+                    text=sentence,
+                    index=index,
+                    section=current_section,
+                )
+            )
+            index += 1
+    return segments
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentDiff:
+    """Difference between two segmentations, keyed by content id."""
+
+    added: tuple[Segment, ...]
+    removed: tuple[Segment, ...]
+    unchanged: tuple[Segment, ...]
+
+    @property
+    def reuse_fraction(self) -> float:
+        total = len(self.added) + len(self.unchanged)
+        if total == 0:
+            return 1.0
+        return len(self.unchanged) / total
+
+
+def diff_segments(old: list[Segment], new: list[Segment]) -> SegmentDiff:
+    """Diff two segment lists by content id.
+
+    "Unchanged" segments are those present in both versions — their cached
+    extractions remain valid even if they moved within the document.
+    """
+    old_ids = {s.segment_id for s in old}
+    new_ids = {s.segment_id for s in new}
+    return SegmentDiff(
+        added=tuple(s for s in new if s.segment_id not in old_ids),
+        removed=tuple(s for s in old if s.segment_id not in new_ids),
+        unchanged=tuple(s for s in new if s.segment_id in old_ids),
+    )

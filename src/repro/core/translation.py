@@ -1,0 +1,94 @@
+"""Phase 3 step 1: translate query vocabulary into policy vocabulary.
+
+The multi-step translation the paper describes: cosine similarity between
+each query term and all policy terms proposes top-k (k=10) candidates, and
+an LLM equivalence prompt confirms or rejects each candidate.  Confirmed
+candidates win by similarity rank; with no confirmation the original term
+is kept (and will simply fail to match policy statements, surfacing as an
+INVALID verdict rather than a silent wrong answer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.embeddings.search import DEFAULT_TOP_K, top_k
+from repro.embeddings.store import EmbeddingStore
+from repro.llm.tasks import TaskRunner
+
+
+@dataclass(frozen=True, slots=True)
+class TranslationResult:
+    """Outcome of translating one query term."""
+
+    original: str
+    translated: str
+    similarity: float
+    verified: bool  # confirmed by the LLM equivalence prompt
+
+    @property
+    def changed(self) -> bool:
+        return self.original != self.translated
+
+
+def translate_term(
+    runner: TaskRunner,
+    store: EmbeddingStore,
+    term: str,
+    *,
+    vocabulary: set[str] | None = None,
+    k: int = DEFAULT_TOP_K,
+    min_similarity: float = 0.3,
+) -> TranslationResult:
+    """Translate one term into the policy's vocabulary.
+
+    Args:
+        vocabulary: when given, only hits inside this set are considered
+            (used to restrict matches to graph node names, excluding the
+            edge-text keys that share the store).
+    """
+    lowered = term.strip().lower()
+    if vocabulary is not None and lowered in vocabulary:
+        return TranslationResult(lowered, lowered, 1.0, True)
+    if vocabulary is None and lowered in store:
+        return TranslationResult(lowered, lowered, 1.0, True)
+
+    # Over-fetch before the vocabulary filter: the store also holds
+    # edge-text keys, which would otherwise crowd node terms out of the
+    # top-k window.
+    hits = top_k(store, lowered, k=max(3 * k, 30), min_score=min_similarity)
+    if vocabulary is not None:
+        hits = [h for h in hits if h.key in vocabulary]
+    hits = hits[:k]
+    for hit in hits:
+        if runner.semantic_equivalence(lowered, hit.key):
+            return TranslationResult(lowered, hit.key, hit.score, True)
+    if hits:
+        # No candidate survived verification; report the best rejected one
+        # for diagnostics but keep the original term.
+        return TranslationResult(lowered, lowered, hits[0].score, False)
+    return TranslationResult(lowered, lowered, 0.0, False)
+
+
+def translate_query_terms(
+    runner: TaskRunner,
+    store: EmbeddingStore,
+    terms: list[str],
+    *,
+    vocabulary: set[str] | None = None,
+    k: int = DEFAULT_TOP_K,
+    min_similarity: float = 0.3,
+) -> dict[str, TranslationResult]:
+    """Translate several query terms; returns a per-term result map."""
+    return {
+        term: translate_term(
+            runner,
+            store,
+            term,
+            vocabulary=vocabulary,
+            k=k,
+            min_similarity=min_similarity,
+        )
+        for term in terms
+        if term and term.strip()
+    }

@@ -1,0 +1,217 @@
+"""Phase 3 step 4: SMT-backed verification of an encoded query.
+
+The encoded formulas are compiled to SMT-LIB v2 text, parsed back, and
+solved — the same textual round trip the paper's CVC5 integration takes.
+``unsat`` means the query necessarily follows from the policy (VALID);
+``sat`` means it does not (INVALID); budget exhaustion yields UNKNOWN, the
+paper's timeout case.
+
+When a verdict involves uninterpreted predicates, the result reports which
+vague terms it depends on, and — when the plain verdict is INVALID — an
+additional ``check-sat-assuming`` pass determines whether the query would
+follow if every vague condition were resolved in the policy's favour
+(CONDITIONALLY VALID).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.encode import EncodedQuery
+from repro.errors import QueryError
+from repro.fol.builder import negate
+from repro.fol.formula import PredicateSymbol
+from repro.smtlib.printer import compile_validity_script
+from repro.smtlib.parser import execute_script
+from repro.solver.interface import Solver, SolverBudget
+from repro.solver.result import SatResult, SolverResult
+
+
+class Verdict(enum.Enum):
+    """Paper terminology for verification outcomes."""
+
+    VALID = "VALID"
+    INVALID = "INVALID"
+    UNKNOWN = "UNKNOWN"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(slots=True)
+class VerificationResult:
+    """Verdict plus everything needed to audit it."""
+
+    verdict: Verdict
+    solver_result: SolverResult
+    smtlib_text: str
+    depends_on: dict[str, str] = field(default_factory=dict)  # predicate -> source text
+    conditionally_valid: bool | None = None
+    policy_consistent: bool | None = None
+    counterexample: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def has_ambiguity(self) -> bool:
+        return bool(self.depends_on)
+
+    def summary(self) -> str:
+        lines = [f"verdict: {self.verdict}"]
+        if self.policy_consistent is False:
+            lines.append(
+                "the relevant policy statements contradict each other; "
+                "a human must decide which rule prevails"
+            )
+        if self.verdict is Verdict.UNKNOWN and self.solver_result.reason:
+            lines.append(f"reason: {self.solver_result.reason}")
+        if self.conditionally_valid:
+            lines.append(
+                "conditionally valid: holds if every vague condition is satisfied"
+            )
+        if self.depends_on:
+            lines.append("depends on human interpretation of:")
+            lines.extend(
+                f"  - {name}: \"{source}\"" for name, source in sorted(self.depends_on.items())
+            )
+        if self.verdict is Verdict.INVALID and self.counterexample:
+            falsified = [k for k, v in sorted(self.counterexample.items()) if not v]
+            if falsified:
+                lines.append(
+                    "counterexample resolves these to false: " + ", ".join(falsified)
+                )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable view (drops the solver internals)."""
+        return {
+            "verdict": self.verdict.value,
+            "reason": self.solver_result.reason,
+            "depends_on": dict(self.depends_on),
+            "conditionally_valid": self.conditionally_valid,
+            "policy_consistent": self.policy_consistent,
+            "counterexample": dict(self.counterexample),
+        }
+
+
+def _status_to_verdict(status: SatResult) -> Verdict:
+    if status is SatResult.UNSAT:
+        return Verdict.VALID
+    if status is SatResult.SAT:
+        return Verdict.INVALID
+    return Verdict.UNKNOWN
+
+
+def verify_encoded(
+    encoded: EncodedQuery,
+    *,
+    budget: SolverBudget | None = None,
+    via_smtlib: bool = True,
+    check_conditional: bool = True,
+) -> VerificationResult:
+    """Check whether the encoded policy entails the encoded query."""
+    if encoded.query_formula is None:
+        raise QueryError("encoded query has no query formula")
+    script = compile_validity_script(encoded.policy_formulas, encoded.query_formula)
+    text = script.to_text()
+
+    if via_smtlib:
+        results = execute_script(text, budget=budget)
+        solver_result = results[-1]
+    else:
+        solver = Solver(budget=budget)
+        for formula in encoded.policy_formulas:
+            solver.assert_formula(formula)
+        solver.assert_formula(negate(encoded.query_formula))
+        solver_result = solver.check_sat()
+
+    verdict = _status_to_verdict(solver_result.status)
+    policy_consistent: bool | None = None
+    if verdict is Verdict.VALID:
+        # A VALID verdict is vacuous when the policy statements themselves
+        # are contradictory (the apparent-contradiction pattern); detect and
+        # demote it so a human reviews the conflicting statements instead.
+        consistency = Solver(budget=budget)
+        for formula in encoded.policy_formulas:
+            consistency.assert_formula(formula)
+        check = consistency.check_sat()
+        if check.status is SatResult.UNSAT:
+            policy_consistent = False
+            verdict = Verdict.UNKNOWN
+            solver_result.reason = (
+                "policy statements in the relevant subgraph are mutually "
+                "contradictory; human review required"
+            )
+        elif check.status is SatResult.SAT:
+            policy_consistent = True
+
+    result = VerificationResult(
+        verdict=verdict,
+        solver_result=solver_result,
+        smtlib_text=text,
+        depends_on=dict(encoded.uninterpreted),
+        policy_consistent=policy_consistent,
+    )
+
+    if verdict is Verdict.INVALID:
+        result.counterexample = _counterexample(encoded, solver_result)
+    if (
+        check_conditional
+        and verdict is Verdict.INVALID
+        and encoded.uninterpreted
+    ):
+        result.conditionally_valid = _conditionally_valid(encoded, budget)
+    return result
+
+
+def _counterexample(
+    encoded: EncodedQuery, solver_result: SolverResult
+) -> dict[str, bool]:
+    """The SAT witness restricted to the atoms the verdict hinges on.
+
+    An INVALID verdict means the solver found a world consistent with the
+    policy where the query fails.  Reporting the query's own atoms plus the
+    uninterpreted predicates in that world explains *why* the query does
+    not follow — typically "the vague condition was resolved to false".
+    """
+    if not solver_result.model:
+        return {}
+    from repro.fol.visitor import atoms
+    from repro.solver.cnf import atom_key
+
+    interesting: set[str] = set(encoded.uninterpreted)
+    if encoded.query_formula is not None:
+        for atom in atoms(encoded.query_formula):
+            try:
+                interesting.add(atom_key(atom))
+            except Exception:  # noqa: BLE001 - quantified query atoms have no key
+                continue
+    return {
+        key: value
+        for key, value in solver_result.model.items()
+        if key in interesting
+    }
+
+
+def _conditionally_valid(
+    encoded: EncodedQuery, budget: SolverBudget | None
+) -> bool | None:
+    """Would the query follow if all vague conditions were resolved true?
+
+    Uses ``check-sat-assuming`` over the uninterpreted predicates — the
+    incremental exploration of query conditions the paper points to as
+    future work.
+    """
+    solver = Solver(budget=budget)
+    for formula in encoded.policy_formulas:
+        solver.assert_formula(formula)
+    solver.assert_formula(negate(encoded.query_formula))
+    assumptions = [
+        PredicateSymbol(name, (), uninterpreted=True, source_text=source)()
+        for name, source in sorted(encoded.uninterpreted.items())
+    ]
+    outcome = solver.check_sat_assuming(assumptions)
+    if outcome.status is SatResult.UNSAT:
+        return True
+    if outcome.status is SatResult.SAT:
+        return False
+    return None

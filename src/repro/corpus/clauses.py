@@ -1,0 +1,452 @@
+"""Clause template library for the policy generator.
+
+Templates are realistic privacy-policy sentences with named slots.  They are
+written in the active, enumerated style that real consumer policies use
+(and that the paper's TikTok/Meta excerpts exhibit): compound statements,
+"such as" enumerations, conditional carve-outs, vague purpose tails, and
+references to external law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# ---------------------------------------------------------------------------
+# Shared vocabulary pools
+# ---------------------------------------------------------------------------
+
+USER_PROVIDED_DATA: tuple[str, ...] = (
+    "name",
+    "age",
+    "username",
+    "password",
+    "language",
+    "email",
+    "phone number",
+    "social media account information",
+    "profile image",
+    "date of birth",
+    "biography",
+    "postal address",
+    "survey responses",
+    "feedback",
+    "identity documents",
+)
+
+AUTO_COLLECTED_DATA: tuple[str, ...] = (
+    "ip address",
+    "device identifier",
+    "device model",
+    "operating system",
+    "browser type",
+    "screen resolution",
+    "time zone setting",
+    "mobile carrier",
+    "network type",
+    "battery level",
+    "app version",
+    "crash reports",
+    "performance logs",
+    "keystroke patterns",
+    "usage information",
+    "interaction data",
+    "clickstream data",
+    "session duration",
+    "cookie identifiers",
+    "advertising identifiers",
+    "approximate location",
+    "gps location",
+    "browsing history",
+    "search history",
+)
+
+SENSITIVE_DATA: tuple[str, ...] = (
+    "precise location",
+    "biometric identifiers",
+    "faceprints",
+    "voiceprints",
+    "health information",
+    "financial information",
+    "government identification numbers",
+)
+
+#: Data types reserved for deliberately *incoherent* contradiction pairs,
+#: so the injected inconsistencies do not poison queries about mainstream
+#: data types.
+CONTRADICTION_DATA: tuple[str, ...] = (
+    "loyalty program data",
+    "vehicle registration details",
+    "warranty records",
+    "gift card balances",
+    "referral codes",
+)
+
+PARTNERS: tuple[str, ...] = (
+    "advertisers",
+    "measurement partners",
+    "analytics providers",
+    "service providers",
+    "business partners",
+    "payment processors",
+    "cloud providers",
+    "content moderators",
+    "device manufacturers",
+    "mobile carriers",
+    "data brokers",
+    "marketing partners",
+    "fraud prevention services",
+    "identity verification services",
+    "delivery partners",
+)
+
+AUTHORITIES: tuple[str, ...] = (
+    "law enforcement",
+    "government authorities",
+    "regulators",
+    "courts",
+    "tax authorities",
+    "emergency services",
+)
+
+PURPOSES: tuple[str, ...] = (
+    "personalize your experience",
+    "improve the platform",
+    "measure advertising effectiveness",
+    "detect and prevent fraud",
+    "enforce our terms of service",
+    "provide customer support",
+    "develop new features",
+    "maintain the safety of the community",
+    "comply with legal obligations",
+    "conduct research and analytics",
+    "verify your identity",
+    "process your transactions",
+)
+
+CONDITIONS: tuple[str, ...] = (
+    "with your consent",
+    "when required by law",
+    "if you enable this feature in your settings",
+    "when you use the relevant feature",
+    "for legitimate business purposes",
+    "for security purposes",
+    "unless you opt out in your account settings",
+    "where permitted by applicable law",
+    "when necessary to protect the vital interests of any person",
+    "in connection with a corporate transaction",
+    "subject to appropriate safeguards",
+    "to the extent permitted by your jurisdiction",
+)
+
+USER_ACTIONS: tuple[str, ...] = (
+    "create an account",
+    "upload content",
+    "send messages",
+    "make a purchase",
+    "participate in a survey",
+    "contact customer support",
+    "sync your contacts",
+    "enable location services",
+    "connect a social media account",
+    "register for an event",
+    "report a problem",
+    "join a community",
+)
+
+RETENTION_PERIODS: tuple[str, ...] = (
+    "as long as your account remains active",
+    "for up to 90 days",
+    "for up to 18 months",
+    "for the period required by applicable law",
+    "until you request deletion",
+    "for as long as necessary to provide the service",
+)
+
+RIGHTS: tuple[str, ...] = (
+    "access",
+    "delete",
+    "correct",
+    "download",
+    "restrict the processing of",
+    "object to the processing of",
+)
+
+# ---------------------------------------------------------------------------
+# Templates
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ClauseTemplate:
+    """A sentence template with slot names matching the pools above.
+
+    ``weight`` biases sampling; higher-weight templates appear more often,
+    approximating the frequency profile of real policies (collection and
+    sharing statements dominate).
+    """
+
+    text: str
+    slots: tuple[str, ...]
+    weight: int = 1
+    tags: tuple[str, ...] = ()
+
+
+COLLECTION_TEMPLATES: tuple[ClauseTemplate, ...] = (
+    ClauseTemplate(
+        "We collect your {data} when you {user_action}.",
+        ("data", "user_action"),
+        weight=3,
+    ),
+    ClauseTemplate(
+        "When you {user_action}, we collect {data} and {data2}.",
+        ("user_action", "data", "data2"),
+        weight=3,
+    ),
+    ClauseTemplate(
+        "If you {user_action}, we will access and collect information such as {data}, {data2}, and {data3}.",
+        ("user_action", "data", "data2", "data3"),
+        weight=2,
+    ),
+    ClauseTemplate(
+        "You may provide {data}, {data2}, and {data3} directly to us.",
+        ("data", "data2", "data3"),
+        weight=2,
+    ),
+    ClauseTemplate(
+        "We automatically collect {data} from your device.",
+        ("data",),
+        weight=3,
+    ),
+    ClauseTemplate(
+        "We collect {data} {condition}.",
+        ("data", "condition"),
+        weight=2,
+    ),
+    ClauseTemplate(
+        "Our systems log {data} and {data2} each time you open the app.",
+        ("data", "data2"),
+    ),
+    ClauseTemplate(
+        "We infer {data} from your {data2}.",
+        ("data", "data2"),
+    ),
+    ClauseTemplate(
+        "We receive {data} from {partner}.",
+        ("data", "partner"),
+        weight=2,
+    ),
+    ClauseTemplate(
+        "We obtain {data} about you from {partner} and combine it with {data2}.",
+        ("data", "partner", "data2"),
+    ),
+)
+
+SHARING_TEMPLATES: tuple[ClauseTemplate, ...] = (
+    ClauseTemplate(
+        "We share your {data} with {partner} {condition}.",
+        ("data", "partner", "condition"),
+        weight=4,
+    ),
+    ClauseTemplate(
+        "We disclose {data} to {authority} when required by law.",
+        ("data", "authority"),
+        weight=2,
+    ),
+    ClauseTemplate(
+        "We may provide {data} and {data2} to {partner} for {purpose_noun} purposes.",
+        ("data", "data2", "partner", "purpose_noun"),
+        weight=2,
+    ),
+    ClauseTemplate(
+        "We transfer {data} to {partner} {condition}.",
+        ("data", "partner", "condition"),
+        weight=2,
+    ),
+    ClauseTemplate(
+        "We share your {data} with {partner} with your consent or when required by law.",
+        ("data", "partner"),
+        weight=2,
+        tags=("compound_condition",),
+    ),
+    ClauseTemplate(
+        "We do not sell your {data} to {partner}.",
+        ("data", "partner"),
+        tags=("negation",),
+    ),
+    ClauseTemplate(
+        "We do not share your {data} with third parties.",
+        ("data",),
+        tags=("negation", "exception_setup"),
+    ),
+    ClauseTemplate(
+        "We may share your {data} with {partner} {condition}.",
+        ("data", "partner", "condition"),
+        tags=("exception_payoff",),
+    ),
+)
+
+USE_TEMPLATES: tuple[ClauseTemplate, ...] = (
+    ClauseTemplate(
+        "We use your {data} to {purpose}.",
+        ("data", "purpose"),
+        weight=4,
+    ),
+    ClauseTemplate(
+        "We analyze {data} and {data2} to {purpose}.",
+        ("data", "data2", "purpose"),
+        weight=2,
+    ),
+    ClauseTemplate(
+        "We combine {data} with {data2} to {purpose}.",
+        ("data", "data2", "purpose"),
+    ),
+    ClauseTemplate(
+        "We process {data} {condition}.",
+        ("data", "condition"),
+        weight=2,
+    ),
+    ClauseTemplate(
+        "We use {data} to train our recommendation models.",
+        ("data",),
+    ),
+)
+
+RETENTION_TEMPLATES: tuple[ClauseTemplate, ...] = (
+    ClauseTemplate(
+        "We retain your {data} {retention}.",
+        ("data", "retention"),
+        weight=3,
+    ),
+    ClauseTemplate(
+        "We store {data} on servers located in multiple jurisdictions.",
+        ("data",),
+    ),
+    ClauseTemplate(
+        "We delete {data} when it is no longer necessary for the purposes described above.",
+        ("data",),
+    ),
+    ClauseTemplate(
+        "We preserve {data} {condition}.",
+        ("data", "condition"),
+    ),
+)
+
+RIGHTS_TEMPLATES: tuple[ClauseTemplate, ...] = (
+    ClauseTemplate(
+        "You may {right} your {data} through your account settings.",
+        ("right", "data"),
+        weight=2,
+    ),
+    ClauseTemplate(
+        "You can request that we {right} your {data} by contacting us.",
+        ("right", "data"),
+    ),
+    ClauseTemplate(
+        "If you delete your account, we will delete your {data} {condition}.",
+        ("data", "condition"),
+    ),
+)
+
+SECURITY_TEMPLATES: tuple[ClauseTemplate, ...] = (
+    ClauseTemplate(
+        "We protect {data} using encryption in transit and at rest.",
+        ("data",),
+    ),
+    ClauseTemplate(
+        "We monitor {data} to detect unauthorized access.",
+        ("data",),
+    ),
+    ClauseTemplate(
+        "Access to {data} is restricted to personnel who need it to {purpose}.",
+        ("data", "purpose"),
+    ),
+)
+
+PURPOSE_NOUNS: tuple[str, ...] = (
+    "advertising",
+    "analytics",
+    "research",
+    "marketing",
+    "measurement",
+    "security",
+    "fraud prevention",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SectionSpec:
+    """One policy section: heading, intro line, and its template pool."""
+
+    heading: str
+    intro: str
+    templates: tuple[ClauseTemplate, ...]
+    share: float  # fraction of the practice-sentence budget
+    pools: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+
+def default_sections() -> tuple[SectionSpec, ...]:
+    """The section plan shared by all generated policies."""
+    return (
+        SectionSpec(
+            heading="Information You Provide",
+            intro="We collect information that you provide directly when you use the Platform.",
+            templates=COLLECTION_TEMPLATES,
+            share=0.22,
+            pools={"data": USER_PROVIDED_DATA},
+        ),
+        SectionSpec(
+            heading="Automatically Collected Information",
+            intro="We automatically collect certain information when you access or use the Platform.",
+            templates=COLLECTION_TEMPLATES,
+            share=0.18,
+            pools={"data": AUTO_COLLECTED_DATA},
+        ),
+        SectionSpec(
+            heading="How We Use Your Information",
+            intro="We use the information we collect for the purposes described below.",
+            templates=USE_TEMPLATES,
+            share=0.18,
+        ),
+        SectionSpec(
+            heading="How We Share Your Information",
+            intro="We share the categories of information described above in the following circumstances.",
+            templates=SHARING_TEMPLATES,
+            share=0.22,
+        ),
+        SectionSpec(
+            heading="Data Retention",
+            intro="We retain information for as long as necessary to provide the Platform.",
+            templates=RETENTION_TEMPLATES,
+            share=0.07,
+        ),
+        SectionSpec(
+            heading="Your Rights and Choices",
+            intro="You have choices about the information we collect and how it is used.",
+            templates=RIGHTS_TEMPLATES,
+            share=0.08,
+        ),
+        SectionSpec(
+            heading="Data Security",
+            intro="We maintain administrative, technical, and physical safeguards for your information.",
+            templates=SECURITY_TEMPLATES,
+            share=0.05,
+        ),
+    )
+
+
+BOILERPLATE_INTRO = (
+    "{company} Privacy Policy. Last updated {date}. "
+    'Welcome to {company} ("{company}", "we", "us", or "our"). '
+    "This Privacy Policy describes how {company} collects, uses, shares, and "
+    "otherwise processes the personal information of users of the {platform} "
+    "platform. Please read this policy carefully. By accessing or using the "
+    "{platform} platform, you acknowledge the practices described in this policy."
+)
+
+BOILERPLATE_OUTRO = (
+    "Changes To This Policy. We may update this Privacy Policy from time to "
+    "time. When we do, we will notify you through your account settings or by "
+    "other reasonable means as required by applicable law. Contact Us. If you "
+    "have questions about this Privacy Policy, you can contact our data "
+    "protection officer through the contact form available in the application."
+)

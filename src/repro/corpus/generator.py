@@ -1,0 +1,244 @@
+"""Seeded policy generator.
+
+Produces synthetic privacy policies of a requested size by sampling the
+clause-template library.  Generation is deterministic per seed, never emits
+the same sentence twice within a document, and records ground-truth
+metadata (injected exception pairs, showcase statements) that the analysis
+experiments score against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.corpus.clauses import (
+    AUTHORITIES,
+    CONTRADICTION_DATA,
+    AUTO_COLLECTED_DATA,
+    BOILERPLATE_INTRO,
+    BOILERPLATE_OUTRO,
+    CONDITIONS,
+    PARTNERS,
+    PURPOSE_NOUNS,
+    PURPOSES,
+    RETENTION_PERIODS,
+    RIGHTS,
+    SENSITIVE_DATA,
+    USER_ACTIONS,
+    USER_PROVIDED_DATA,
+    ClauseTemplate,
+    SectionSpec,
+    default_sections,
+)
+from repro.errors import CorpusError
+
+_ALL_DATA = USER_PROVIDED_DATA + AUTO_COLLECTED_DATA + SENSITIVE_DATA
+_WORDS_PER_SENTENCE_ESTIMATE = 11
+
+
+@dataclass(frozen=True, slots=True)
+class ExceptionPair:
+    """A deliberately injected general-rule/exception statement pair."""
+
+    data_type: str
+    general_rule: str
+    exception: str
+    coherent: bool  # True when the exception carries an explicit condition
+
+
+@dataclass(slots=True)
+class GeneratorProfile:
+    """Per-company flavour of a generated policy."""
+
+    company: str
+    platform: str
+    seed: int = 0
+    extra_data: tuple[str, ...] = ()
+    extra_user_actions: tuple[str, ...] = ()
+    showcase_statements: tuple[str, ...] = ()
+    exception_pairs: int = 6
+    incoherent_exception_fraction: float = 0.15
+    date: str = "March 2025"
+
+
+@dataclass(slots=True)
+class PolicyDocument:
+    """A generated policy plus its ground-truth metadata."""
+
+    company: str
+    platform: str
+    text: str
+    seed: int
+    sections: list[str] = field(default_factory=list)
+    exception_pairs: list[ExceptionPair] = field(default_factory=list)
+    showcase_statements: list[str] = field(default_factory=list)
+
+    @property
+    def word_count(self) -> int:
+        return len(self.text.split())
+
+
+class PolicyGenerator:
+    """Deterministic clause-template policy generator."""
+
+    def __init__(self, profile: GeneratorProfile) -> None:
+        self.profile = profile
+        self._rng = random.Random(profile.seed)
+        self._emitted: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Slot filling
+    # ------------------------------------------------------------------
+
+    def _pool(self, slot: str, section: SectionSpec) -> tuple[str, ...]:
+        if slot in section.pools:
+            return section.pools[slot]
+        if slot.startswith("data"):
+            return _ALL_DATA + self.profile.extra_data
+        if slot == "partner":
+            return PARTNERS
+        if slot == "authority":
+            return AUTHORITIES
+        if slot == "purpose":
+            return PURPOSES
+        if slot == "condition":
+            return CONDITIONS
+        if slot == "user_action":
+            return USER_ACTIONS + self.profile.extra_user_actions
+        if slot == "retention":
+            return RETENTION_PERIODS
+        if slot == "right":
+            return RIGHTS
+        if slot == "purpose_noun":
+            return PURPOSE_NOUNS
+        raise CorpusError(f"template uses unknown slot {slot!r}")
+
+    def _fill(self, template: ClauseTemplate, section: SectionSpec) -> str:
+        values: dict[str, str] = {}
+        used_data: set[str] = set()
+        for slot in template.slots:
+            pool = self._pool(slot, section)
+            if slot.startswith("data"):
+                pool = tuple(p for p in pool if p not in used_data) or pool
+            choice = self._rng.choice(pool)
+            if slot.startswith("data"):
+                used_data.add(choice)
+            values[slot] = choice
+        return template.text.format(**values)
+
+    def _sentences_for_section(
+        self, section: SectionSpec, count: int
+    ) -> list[str]:
+        weighted = [t for t in section.templates for _ in range(t.weight)]
+        sentences: list[str] = []
+        attempts = 0
+        while len(sentences) < count and attempts < count * 30:
+            attempts += 1
+            template = self._rng.choice(weighted)
+            if "exception" in " ".join(template.tags):
+                continue  # exception pairs are injected explicitly
+            sentence = self._fill(template, section)
+            if sentence in self._emitted:
+                continue
+            self._emitted.add(sentence)
+            sentences.append(sentence)
+        return sentences
+
+    # ------------------------------------------------------------------
+    # Exception-pair injection
+    # ------------------------------------------------------------------
+
+    def _make_exception_pairs(self) -> list[ExceptionPair]:
+        pairs: list[ExceptionPair] = []
+        coherent_pool = list(SENSITIVE_DATA + USER_PROVIDED_DATA[:6])
+        incoherent_pool = list(CONTRADICTION_DATA)
+        self._rng.shuffle(coherent_pool)
+        self._rng.shuffle(incoherent_pool)
+        incoherent_budget = max(
+            0, round(self.profile.exception_pairs * self.profile.incoherent_exception_fraction)
+        )
+        for i in range(self.profile.exception_pairs):
+            partner = self._rng.choice(PARTNERS)
+            incoherent = i < incoherent_budget and incoherent_pool
+            if incoherent:
+                # A genuinely contradictory pair: same broad receiver, no
+                # condition.  Drawn from a reserved data pool so the
+                # inconsistency stays local.
+                data = incoherent_pool.pop()
+                exception = f"We share your {data} with third parties."
+            elif coherent_pool:
+                data = coherent_pool.pop()
+                condition = self._rng.choice(CONDITIONS)
+                exception = f"We may share your {data} with {partner} {condition}."
+            else:
+                break
+            general = f"We do not share your {data} with third parties."
+            pairs.append(
+                ExceptionPair(
+                    data_type=data,
+                    general_rule=general,
+                    exception=exception,
+                    coherent=not incoherent,
+                )
+            )
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def generate(self, target_words: int) -> PolicyDocument:
+        """Generate a policy of approximately ``target_words`` words."""
+        if target_words < 300:
+            raise CorpusError("target_words must be at least 300")
+        profile = self.profile
+        intro = BOILERPLATE_INTRO.format(
+            company=profile.company, platform=profile.platform, date=profile.date
+        )
+        outro = BOILERPLATE_OUTRO
+        overhead = len(intro.split()) + len(outro.split())
+        showcase = list(profile.showcase_statements)
+        overhead += sum(len(s.split()) for s in showcase)
+        pairs = self._make_exception_pairs()
+        overhead += sum(
+            len(p.general_rule.split()) + len(p.exception.split()) for p in pairs
+        )
+        budget_sentences = max(
+            1, (target_words - overhead) // _WORDS_PER_SENTENCE_ESTIMATE
+        )
+
+        sections = default_sections()
+        parts: list[str] = [intro, ""]
+        document = PolicyDocument(
+            company=profile.company,
+            platform=profile.platform,
+            text="",
+            seed=profile.seed,
+            exception_pairs=pairs,
+            showcase_statements=showcase,
+        )
+
+        for index, section in enumerate(sections):
+            count = max(1, int(budget_sentences * section.share))
+            sentences = self._sentences_for_section(section, count)
+            # Weave ground-truth material into the right sections.
+            if section.heading == "Information You Provide":
+                sentences = showcase[: len(showcase) // 2 + 1] + sentences
+            if section.heading == "How We Share Your Information":
+                sentences = (
+                    showcase[len(showcase) // 2 + 1 :]
+                    + [p.general_rule for p in pairs]
+                    + sentences
+                )
+                # Exceptions appear later in the same section, as in real
+                # policies where carve-outs follow the general rule.
+                sentences.extend(p.exception for p in pairs)
+            parts.append(f"{index + 1}. {section.heading}")
+            parts.append(section.intro + " " + " ".join(sentences))
+            parts.append("")
+            document.sections.append(section.heading)
+
+        parts.append(outro)
+        document.text = "\n".join(parts)
+        return document

@@ -1,0 +1,106 @@
+"""OPP-115-style taxonomy seed.
+
+The Usable Privacy Policy Project's OPP-115 corpus annotates policies with
+ten data-practice categories and a vocabulary of personal-information
+types.  Algorithm 1 takes this taxonomy as the ``T`` input used to match
+data types during extraction; Chain-of-Layer then *extends* it dynamically,
+which is the paper's answer to fixed-taxonomy brittleness.
+"""
+
+from __future__ import annotations
+
+#: The ten OPP-115 data-practice categories.
+OPP115_CATEGORIES: tuple[str, ...] = (
+    "First Party Collection/Use",
+    "Third Party Sharing/Collection",
+    "User Choice/Control",
+    "User Access, Edit and Deletion",
+    "Data Retention",
+    "Data Security",
+    "Policy Change",
+    "Do Not Track",
+    "International and Specific Audiences",
+    "Other",
+)
+
+#: OPP-115 personal-information type attribute values, mapped to the data
+#: terms that signal them.
+OPP115_DATA_TYPES: dict[str, tuple[str, ...]] = {
+    "Contact": (
+        "name",
+        "email address",
+        "phone number",
+        "postal address",
+        "contact information",
+    ),
+    "Location": (
+        "location",
+        "gps location",
+        "precise location",
+        "approximate location",
+        "ip-based location",
+    ),
+    "Demographic": ("age", "gender", "language", "demographic information"),
+    "Financial": (
+        "payment information",
+        "credit card information",
+        "transaction history",
+        "purchase history",
+        "billing address",
+    ),
+    "Health": ("health information", "fitness data", "medical information"),
+    "Computer information": (
+        "ip address",
+        "device identifier",
+        "browser type",
+        "operating system",
+        "device model",
+        "screen resolution",
+    ),
+    "Cookies and tracking elements": (
+        "cookie",
+        "pixel",
+        "web beacon",
+        "advertising identifier",
+        "session identifier",
+    ),
+    "User online activities": (
+        "browsing history",
+        "search history",
+        "watch history",
+        "interaction data",
+        "clickstream data",
+        "usage information",
+    ),
+    "User profile": (
+        "username",
+        "password",
+        "profile image",
+        "profile information",
+        "account information",
+        "biography",
+    ),
+    "Social media data": (
+        "contact list",
+        "social media account information",
+        "friend list",
+        "follower list",
+        "social graph",
+    ),
+    "Survey data": ("survey responses", "feedback", "ratings"),
+    "Generic personal information": ("personal information", "personal data"),
+}
+
+
+def match_categories(text: str) -> list[str]:
+    """OPP-115 data-type categories whose signal terms occur in ``text``.
+
+    This is the ``Match(s, T)`` step of Algorithm 1: a coarse taxonomy tag
+    per segment that seeds the dynamic hierarchy.
+    """
+    lowered = text.lower()
+    matched = []
+    for category, signals in OPP115_DATA_TYPES.items():
+        if any(signal in lowered for signal in signals):
+            matched.append(category)
+    return matched

@@ -1,0 +1,201 @@
+"""Bundled synthetic policies: TikTak (~15k words) and MetaBook (~40k words).
+
+These are the stand-ins for the TikTok and Meta policies the paper
+evaluates.  The showcase statements mirror the statements decomposed in the
+paper's Tables 2 and 3 (restyled to the synthetic company names) and are
+woven into the generated documents, so both the table benches and the
+full-policy extraction statistics exercise them.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.corpus.generator import GeneratorProfile, PolicyDocument, PolicyGenerator
+
+TIKTAK_TARGET_WORDS = 15_000
+METABOOK_TARGET_WORDS = 40_000
+
+#: (statement, minimum expected extracted practices) — Table 2 counterparts.
+TIKTAK_SHOWCASE: tuple[tuple[str, int], ...] = (
+    (
+        "When you create an account, upload content, contact TikTak directly, "
+        "or otherwise use the Platform, you may provide some or all of the "
+        "following information.",
+        5,
+    ),
+    (
+        "Account and profile information, such as name, age, username, "
+        "password, language, email, phone number, social media account "
+        "information, and profile image.",
+        10,
+    ),
+    (
+        "If you choose to find other users through your phone contacts, "
+        "TikTak will access and collect information such as names, phone "
+        "numbers, and email addresses.",
+        6,
+    ),
+)
+
+#: (statement, minimum expected extracted practices) — Table 3 counterparts.
+METABOOK_SHOWCASE: tuple[tuple[str, int], ...] = (
+    (
+        "You provide camera feature content and voice-enabled features "
+        "content, you allow access to your photos and videos, and MetaBook "
+        "collects information from the Camera feature.",
+        5,
+    ),
+    (
+        "You view content and ads, you interact with content and ads, you "
+        "engage with ads and commercial content, and you provide interaction "
+        "data.",
+        6,
+    ),
+    (
+        "When you make purchases through MetaBook checkout experiences, "
+        "payments using MetaBook Pay, purchases in Marketplace, or purchases "
+        "within online games, MetaBook processes financial information, "
+        "accesses financial transaction data, and preserves truncated credit "
+        "card information.",
+        6,
+    ),
+)
+
+_TIKTAK_PROFILE = GeneratorProfile(
+    company="TikTak",
+    platform="TikTak",
+    seed=1717,
+    extra_data=(
+        "watch history",
+        "video content",
+        "livestream content",
+        "comments",
+        "direct messages",
+        "sound preferences",
+        "effect usage data",
+        "hashtag interactions",
+        "clipboard content",
+    ),
+    extra_user_actions=(
+        "record a video",
+        "start a livestream",
+        "apply an effect",
+        "follow a creator",
+        "duet with another user",
+    ),
+    showcase_statements=tuple(s for s, _ in TIKTAK_SHOWCASE),
+    exception_pairs=6,
+)
+
+_METABOOK_PROFILE = GeneratorProfile(
+    company="MetaBook",
+    platform="MetaBook",
+    seed=4242,
+    extra_data=(
+        "camera feature content",
+        "voice-enabled features content",
+        "photos and videos",
+        "interaction data",
+        "engagement data",
+        "financial transaction data",
+        "truncated credit card information",
+        "marketplace listings",
+        "group memberships",
+        "page follows",
+        "event responses",
+        "vr headset motion data",
+        "avatar customizations",
+        "friend connections",
+    ),
+    extra_user_actions=(
+        "join a group",
+        "follow a page",
+        "respond to an event",
+        "list an item on Marketplace",
+        "send money using MetaBook Pay",
+        "use a vr headset",
+    ),
+    showcase_statements=tuple(s for s, _ in METABOOK_SHOWCASE),
+    exception_pairs=10,
+)
+
+
+@lru_cache(maxsize=None)
+def tiktak_policy(target_words: int = TIKTAK_TARGET_WORDS) -> PolicyDocument:
+    """The bundled TikTok-scale policy (deterministic)."""
+    return PolicyGenerator(_TIKTAK_PROFILE).generate(target_words)
+
+
+@lru_cache(maxsize=None)
+def metabook_policy(target_words: int = METABOOK_TARGET_WORDS) -> PolicyDocument:
+    """The bundled Meta-scale policy (deterministic)."""
+    return PolicyGenerator(_METABOOK_PROFILE).generate(target_words)
+
+
+# ---------------------------------------------------------------------------
+# Cross-domain corpus: a healthcare policy (§5: "The system generalizes
+# across domains without modification ... can adapt to healthcare, media,
+# financial, or educational terminology through the same iterative process").
+# ---------------------------------------------------------------------------
+
+MEDITRACK_TARGET_WORDS = 10_000
+
+MEDITRACK_SHOWCASE: tuple[tuple[str, int], ...] = (
+    (
+        "When you book an appointment, complete an intake form, or message "
+        "your care team, you may provide some or all of the following "
+        "information.",
+        4,
+    ),
+    (
+        "Health profile information, such as diagnoses, medications, "
+        "allergies, immunization records, lab results, and insurance member "
+        "id.",
+        6,
+    ),
+    (
+        "If you connect a wearable device, MediTrack will access and collect "
+        "information such as heart rate, step counts, and sleep patterns.",
+        6,
+    ),
+)
+
+_MEDITRACK_PROFILE = GeneratorProfile(
+    company="MediTrack",
+    platform="MediTrack",
+    seed=8088,
+    extra_data=(
+        "diagnoses",
+        "medications",
+        "allergies",
+        "immunization records",
+        "lab results",
+        "insurance member id",
+        "heart rate",
+        "step counts",
+        "sleep patterns",
+        "blood pressure readings",
+        "appointment history",
+        "care team messages",
+        "intake form responses",
+        "prescription refill requests",
+        "telehealth session recordings",
+    ),
+    extra_user_actions=(
+        "book an appointment",
+        "complete an intake form",
+        "message your care team",
+        "connect a wearable device",
+        "request a prescription refill",
+        "join a telehealth session",
+    ),
+    showcase_statements=tuple(s for s, _ in MEDITRACK_SHOWCASE),
+    exception_pairs=4,
+)
+
+
+@lru_cache(maxsize=None)
+def meditrack_policy(target_words: int = MEDITRACK_TARGET_WORDS) -> PolicyDocument:
+    """The bundled healthcare-domain policy (deterministic)."""
+    return PolicyGenerator(_MEDITRACK_PROFILE).generate(target_words)

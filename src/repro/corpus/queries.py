@@ -1,0 +1,74 @@
+"""Canned user queries for the Phase 3 verification experiments.
+
+Queries are declarative data-practice statements, the input format the
+paper's query path extracts parameters from ("Does TikTok share my email
+with advertisers?" is first normalized to "TikTok shares the user's email
+with advertisers").  Expectations are coarse: whether the policy should
+entail the practice, should not, or depends on an uninterpreted condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyQuery:
+    """One verification query with its expected outcome class."""
+
+    text: str
+    policy: str  # "tiktak" | "metabook"
+    description: str
+    expectation: str  # "valid" | "invalid" | "conditional" | "any"
+
+
+POLICY_QUERIES: tuple[PolicyQuery, ...] = (
+    PolicyQuery(
+        text="The user provides email to TikTak.",
+        policy="tiktak",
+        description="direct collection stated in the profile enumeration",
+        expectation="valid",
+    ),
+    PolicyQuery(
+        text="The user provides phone number to TikTak.",
+        policy="tiktak",
+        description="enumerated profile field",
+        expectation="valid",
+    ),
+    PolicyQuery(
+        text="TikTak collects email address.",
+        policy="tiktak",
+        description="vocabulary bridging: email address vs email",
+        expectation="any",
+    ),
+    PolicyQuery(
+        text="TikTak shares biometric identifiers with data brokers.",
+        policy="tiktak",
+        description="should not follow unless an exception edge exists",
+        expectation="any",
+    ),
+    PolicyQuery(
+        text="The user provides interaction data to MetaBook.",
+        policy="metabook",
+        description="Table 3 interaction tracking example",
+        expectation="valid",
+    ),
+    PolicyQuery(
+        text="MetaBook processes financial information.",
+        policy="metabook",
+        description="Table 3 payments example",
+        expectation="valid",
+    ),
+    PolicyQuery(
+        text="MetaBook preserves truncated credit card information.",
+        policy="metabook",
+        description="payments preservation edge, gated on the purchase condition",
+        expectation="conditional",
+    ),
+    PolicyQuery(
+        text="MetaBook sells health information to advertisers.",
+        policy="metabook",
+        description="denied, absent, or caught in a contradictory exception pair",
+        expectation="any",
+    ),
+)

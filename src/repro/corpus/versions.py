@@ -1,0 +1,105 @@
+"""Policy-version mutation: generate realistic "last updated" revisions.
+
+Policy authors revise policies incrementally — a regulator forces a
+consent gate here, a new feature adds a disclosure there, a deprecated
+practice disappears.  ``make_version`` applies a seeded mix of such edits
+to a policy text and returns ground-truth metadata, which the diffing and
+incremental-update experiments score against.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+
+from repro.corpus.clauses import CONDITIONS, PARTNERS, USER_PROVIDED_DATA
+from repro.errors import CorpusError
+
+#: Statements eligible for removal/reconditioning: simple company practices.
+_EDITABLE_RE = re.compile(r"^We (?:collect|share|use|retain|analyze) .*\.$")
+
+
+@dataclass(frozen=True, slots=True)
+class VersionEdit:
+    """One applied mutation, for scoring diffs against ground truth."""
+
+    kind: str  # "add" | "remove" | "recondition"
+    sentence: str
+    revised: str | None = None  # for recondition: the new sentence
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyVersion:
+    """A mutated policy text plus the edits that produced it."""
+
+    text: str
+    edits: tuple[VersionEdit, ...]
+
+    @property
+    def num_edits(self) -> int:
+        return len(self.edits)
+
+
+def _editable_sentences(text: str) -> list[str]:
+    from repro.nlp.tokenizer import sentences
+
+    return [s for s in sentences(text) if _EDITABLE_RE.match(s)]
+
+
+def make_version(
+    text: str,
+    *,
+    seed: int = 0,
+    add: int = 2,
+    remove: int = 2,
+    recondition: int = 2,
+) -> PolicyVersion:
+    """Produce a revised policy version with the requested edit mix.
+
+    Args:
+        text: the base policy text.
+        seed: RNG seed; identical inputs give identical revisions.
+        add: number of new disclosure sentences appended.
+        remove: number of existing practice sentences removed.
+        recondition: number of practices gated behind a new condition.
+    """
+    rng = random.Random(seed)
+    editable = _editable_sentences(text)
+    if remove + recondition > len(editable):
+        raise CorpusError(
+            f"policy has only {len(editable)} editable statements; "
+            f"requested {remove + recondition} edits"
+        )
+    targets = rng.sample(editable, remove + recondition)
+    to_remove = targets[:remove]
+    to_recondition = targets[remove:]
+
+    edits: list[VersionEdit] = []
+    revised = text
+    for sentence in to_remove:
+        revised = revised.replace(sentence, "", 1)
+        edits.append(VersionEdit(kind="remove", sentence=sentence))
+    for sentence in to_recondition:
+        condition = rng.choice(CONDITIONS)
+        new_sentence = sentence[:-1] + f" {condition}."
+        revised = revised.replace(sentence, new_sentence, 1)
+        edits.append(
+            VersionEdit(kind="recondition", sentence=sentence, revised=new_sentence)
+        )
+
+    additions = []
+    for i in range(add):
+        data = rng.choice(USER_PROVIDED_DATA)
+        partner = rng.choice(PARTNERS)
+        condition = rng.choice(CONDITIONS)
+        new_sentence = (
+            f"We share your {data} with {partner} {condition} "
+            f"under revision clause {seed}-{i}."
+        )
+        additions.append(new_sentence)
+        edits.append(VersionEdit(kind="add", sentence=new_sentence))
+    if additions:
+        revised = revised.rstrip() + "\n" + "\n".join(additions) + "\n"
+
+    return PolicyVersion(text=revised, edits=tuple(edits))

@@ -1,0 +1,20 @@
+"""Offline embedding substrate.
+
+Stands in for OpenAI's ``text-embedding-3-large`` (term/edge similarity) and
+for the SciBERT similarity filter the paper applies during taxonomy
+construction.  The model is a deterministic hashed n-gram embedder: no
+weights, no network, identical vectors on every run.
+"""
+
+from repro.embeddings.model import EmbeddingModel, cosine_similarity
+from repro.embeddings.store import EmbeddingStore
+from repro.embeddings.search import SearchHit, edge_text, top_k
+
+__all__ = [
+    "EmbeddingModel",
+    "cosine_similarity",
+    "EmbeddingStore",
+    "SearchHit",
+    "edge_text",
+    "top_k",
+]

@@ -1,0 +1,57 @@
+"""Cosine top-k search over an embedding store.
+
+Implements the paper's multi-step translation: cosine similarity between a
+query term and all policy terms yields the top-k (k=10) candidate pairs,
+which the pipeline then confirms with an LLM equivalence prompt.  Edge
+embeddings concatenate source, action, and target for whole-practice
+matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embeddings.store import EmbeddingStore
+
+DEFAULT_TOP_K = 10
+
+
+@dataclass(frozen=True, slots=True)
+class SearchHit:
+    """One nearest-neighbour result."""
+
+    key: str
+    score: float
+
+
+def top_k(
+    store: EmbeddingStore, query: str, k: int = DEFAULT_TOP_K, *, min_score: float = 0.0
+) -> list[SearchHit]:
+    """The ``k`` stored keys most similar to ``query``.
+
+    Results are sorted by descending score with the key as a deterministic
+    tie-break; hits below ``min_score`` are dropped.
+    """
+    if len(store) == 0 or k <= 0:
+        return []
+    query_vec = store.model.embed(query)
+    qnorm = np.linalg.norm(query_vec)
+    if qnorm == 0:
+        return []
+    matrix = store.matrix()
+    scores = matrix @ (query_vec / qnorm)
+    order = sorted(range(len(scores)), key=lambda i: (-scores[i], store.keys[i]))
+    hits = []
+    for i in order[:k]:
+        score = float(scores[i])
+        if score < min_score:
+            break
+        hits.append(SearchHit(key=store.keys[i], score=score))
+    return hits
+
+
+def edge_text(source: str, action: str, target: str) -> str:
+    """Canonical text form of a graph edge for embedding purposes."""
+    return f"{source} {action} {target}"

@@ -1,0 +1,91 @@
+"""Embedding store: pre-computed vectors for all graph elements.
+
+The paper pre-computes embeddings for every node and edge of the policy
+graphs and caches them alongside the other pipeline artifacts.  The store
+keeps an insertion-ordered matrix for fast batched cosine search and can be
+persisted to ``.npz``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.embeddings.model import EmbeddingModel
+
+
+class EmbeddingStore:
+    """Ordered map of text keys to embedding vectors."""
+
+    def __init__(self, model: EmbeddingModel | None = None) -> None:
+        self.model = model or EmbeddingModel()
+        self._keys: list[str] = []
+        self._index: dict[str, int] = {}
+        self._rows: list[np.ndarray] = []
+        self._matrix: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    @property
+    def keys(self) -> list[str]:
+        return list(self._keys)
+
+    def add(self, key: str) -> np.ndarray:
+        """Embed and store ``key``; idempotent."""
+        if key in self._index:
+            return self._rows[self._index[key]]
+        vec = self.model.embed(key)
+        self._index[key] = len(self._keys)
+        self._keys.append(key)
+        self._rows.append(vec)
+        self._matrix = None
+        return vec
+
+    def add_many(self, keys: list[str]) -> None:
+        for key in keys:
+            self.add(key)
+
+    def get(self, key: str) -> np.ndarray:
+        """Vector for ``key``, embedding on demand if absent."""
+        if key not in self._index:
+            return self.add(key)
+        return self._rows[self._index[key]]
+
+    def matrix(self) -> np.ndarray:
+        """All stored vectors stacked row-wise (cached until mutation)."""
+        if self._matrix is None:
+            if self._rows:
+                self._matrix = np.stack(self._rows)
+            else:
+                self._matrix = np.zeros((0, self.model.dim))
+        return self._matrix
+
+    def save(self, path: str | Path) -> None:
+        """Persist keys and vectors to an ``.npz`` file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            keys=np.array(self._keys, dtype=object),
+            matrix=self.matrix(),
+            model_name=np.array(self.model.name),
+            dim=np.array(self.model.dim),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path, model: EmbeddingModel | None = None) -> "EmbeddingStore":
+        """Load a store persisted by :meth:`save`."""
+        data = np.load(Path(path), allow_pickle=True)
+        store = cls(model or EmbeddingModel(dim=int(data["dim"]), name=str(data["model_name"])))
+        keys = [str(k) for k in data["keys"]]
+        matrix = data["matrix"]
+        store._keys = keys
+        store._index = {k: i for i, k in enumerate(keys)}
+        store._rows = [matrix[i] for i in range(len(keys))]
+        store._matrix = matrix if len(keys) else None
+        return store

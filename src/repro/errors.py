@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ExtractionError(ReproError):
+    """Phase 1 failed to extract structured parameters from a segment."""
+
+
+class HierarchyError(ReproError):
+    """Phase 2 taxonomy construction produced an inconsistent hierarchy."""
+
+
+class QueryError(ReproError):
+    """Phase 3 could not interpret or translate a user query."""
+
+
+class FOLError(ReproError):
+    """An ill-formed first-order logic formula was constructed."""
+
+
+class SortMismatchError(FOLError):
+    """A term was used where a different sort was expected."""
+
+
+class SMTLibError(ReproError):
+    """SMT-LIB generation or parsing failed."""
+
+
+class SMTLibParseError(SMTLibError):
+    """The SMT-LIB parser encountered malformed input."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SolverError(ReproError):
+    """The SMT solver was driven incorrectly (e.g. pop on empty stack)."""
+
+
+class BudgetExceededError(SolverError):
+    """A solver resource budget was exhausted mid-operation.
+
+    Callers normally never see this: the solver converts it into an
+    ``UNKNOWN`` result.  It is public so tests can assert on the mechanism.
+    """
+
+
+class LLMError(ReproError):
+    """The LLM client failed to produce a usable completion."""
+
+
+class PromptError(LLMError):
+    """A prompt template was rendered with missing or invalid fields."""
+
+
+class CorpusError(ReproError):
+    """A bundled or generated policy could not be produced."""

@@ -1,0 +1,91 @@
+"""First-order logic representation.
+
+Immutable AST for many-sorted FOL with uninterpreted predicates, the
+formalism the paper compiles policies into.  Vague policy terms become
+:class:`~repro.fol.formula.PredicateSymbol` instances flagged as
+*uninterpreted*, carrying their original legal text so that "the result
+depends on how these vague terms are resolved" can be reported verbatim.
+"""
+
+from repro.fol.terms import (
+    BOOL,
+    DATA,
+    ENTITY,
+    Constant,
+    FunctionSymbol,
+    Sort,
+    Term,
+    Variable,
+)
+from repro.fol.formula import (
+    And,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Predicate,
+    PredicateSymbol,
+    TrueFormula,
+)
+from repro.fol.builder import (
+    conjoin,
+    disjoin,
+    exists,
+    forall,
+    implies,
+    negate,
+    pred,
+    uninterpreted,
+)
+from repro.fol.printer import pretty
+from repro.fol.simplify import simplify, to_nnf
+from repro.fol.visitor import (
+    collect_constants,
+    collect_predicates,
+    collect_uninterpreted,
+    free_variables,
+    substitute,
+)
+
+__all__ = [
+    "Sort",
+    "ENTITY",
+    "DATA",
+    "BOOL",
+    "Term",
+    "Variable",
+    "Constant",
+    "FunctionSymbol",
+    "Formula",
+    "Predicate",
+    "PredicateSymbol",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Forall",
+    "Exists",
+    "TrueFormula",
+    "FalseFormula",
+    "pred",
+    "uninterpreted",
+    "conjoin",
+    "disjoin",
+    "negate",
+    "implies",
+    "forall",
+    "exists",
+    "pretty",
+    "simplify",
+    "to_nnf",
+    "collect_predicates",
+    "collect_constants",
+    "collect_uninterpreted",
+    "free_variables",
+    "substitute",
+]

@@ -1,0 +1,95 @@
+"""Convenience constructors for FOL formulas."""
+
+from __future__ import annotations
+
+from repro.fol.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Predicate,
+    PredicateSymbol,
+)
+from repro.fol.terms import Sort, Term, Variable, mangle
+
+
+def pred(name: str, *args: Term, arg_sorts: tuple[Sort, ...] | None = None) -> Predicate:
+    """Build an interpreted predicate atom, inferring sorts from ``args``."""
+    sorts = arg_sorts if arg_sorts is not None else tuple(a.sort for a in args)
+    return PredicateSymbol(mangle(name), sorts)(*args)
+
+
+def uninterpreted(source_text: str) -> Predicate:
+    """Build a nullary uninterpreted predicate from vague policy text.
+
+    The predicate name is the mangled text; the original wording is kept on
+    the symbol for reporting.
+
+    >>> uninterpreted("legitimate business purposes").symbol.name
+    'legitimate_business_purposes'
+    """
+    symbol = PredicateSymbol(
+        mangle(source_text), (), uninterpreted=True, source_text=source_text
+    )
+    return symbol()
+
+
+def conjoin(formulas: list[Formula] | tuple[Formula, ...]) -> Formula:
+    """Conjunction of ``formulas`` with unit simplification."""
+    flat = [f for f in formulas if not isinstance(f, type(TRUE))]
+    if any(isinstance(f, type(FALSE)) for f in flat):
+        return FALSE
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disjoin(formulas: list[Formula] | tuple[Formula, ...]) -> Formula:
+    """Disjunction of ``formulas`` with unit simplification."""
+    flat = [f for f in formulas if not isinstance(f, type(FALSE))]
+    if any(isinstance(f, type(TRUE)) for f in flat):
+        return TRUE
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def negate(formula: Formula) -> Formula:
+    """Negation with double-negation elimination."""
+    if isinstance(formula, Not):
+        return formula.operand
+    return Not(formula)
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Implies:
+    """Material implication."""
+    return Implies(antecedent, consequent)
+
+
+def forall(variables: Variable | list[Variable], body: Formula) -> Formula:
+    """Universal closure over one or more variables (innermost last)."""
+    if isinstance(variables, Variable):
+        variables = [variables]
+    result = body
+    for var in reversed(variables):
+        result = Forall(var, result)
+    return result
+
+
+def exists(variables: Variable | list[Variable], body: Formula) -> Formula:
+    """Existential closure over one or more variables (innermost last)."""
+    if isinstance(variables, Variable):
+        variables = [variables]
+    result = body
+    for var in reversed(variables):
+        result = Exists(var, result)
+    return result

@@ -1,0 +1,134 @@
+"""Formula AST for many-sorted first-order logic.
+
+All nodes are frozen dataclasses, hence hashable and safe to share.  N-ary
+``And``/``Or`` keep argument order (policies are ordered documents and
+diagnostics should read in document order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SortMismatchError
+from repro.fol.terms import Sort, Term, Variable
+
+
+class Formula:
+    """Base class for all formula nodes."""
+
+    def __and__(self, other: "Formula") -> "And":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True, slots=True)
+class PredicateSymbol:
+    """A predicate symbol with a fixed signature.
+
+    ``uninterpreted=True`` marks the named placeholders the paper preserves
+    for vague terms ("legitimate_business_purpose"); ``source_text`` keeps
+    the verbatim policy language for human review.
+    """
+
+    name: str
+    arg_sorts: tuple[Sort, ...] = ()
+    uninterpreted: bool = False
+    source_text: str = ""
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_sorts)
+
+    def __call__(self, *args: Term) -> "Predicate":
+        return Predicate(self, tuple(args))
+
+
+@dataclass(frozen=True, slots=True)
+class Predicate(Formula):
+    """Application of a predicate symbol to terms (an atom)."""
+
+    symbol: PredicateSymbol
+    args: tuple[Term, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.args) != self.symbol.arity:
+            raise SortMismatchError(
+                f"{self.symbol.name} expects {self.symbol.arity} args, got {len(self.args)}"
+            )
+        for arg, expected in zip(self.args, self.symbol.arg_sorts):
+            if arg.sort != expected:
+                raise SortMismatchError(
+                    f"{self.symbol.name}: argument {arg} has sort {arg.sort}, expected {expected}"
+                )
+
+
+@dataclass(frozen=True, slots=True)
+class TrueFormula(Formula):
+    """The constant true."""
+
+
+@dataclass(frozen=True, slots=True)
+class FalseFormula(Formula):
+    """The constant false."""
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Formula):
+    """Logical negation."""
+
+    operand: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class And(Formula):
+    """N-ary conjunction."""
+
+    operands: tuple[Formula, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Formula):
+    """N-ary disjunction."""
+
+    operands: tuple[Formula, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True, slots=True)
+class Implies(Formula):
+    """Material implication."""
+
+    antecedent: Formula
+    consequent: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class Iff(Formula):
+    """Biconditional."""
+
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class Forall(Formula):
+    """Universal quantification over one variable."""
+
+    variable: Variable
+    body: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class Exists(Formula):
+    """Existential quantification over one variable."""
+
+    variable: Variable
+    body: Formula
+
+
+TRUE = TrueFormula()
+FALSE = FalseFormula()

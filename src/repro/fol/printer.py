@@ -1,0 +1,91 @@
+"""Human-readable pretty printer for FOL formulas."""
+
+from __future__ import annotations
+
+from repro.fol.formula import (
+    And,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Predicate,
+    TrueFormula,
+)
+
+_SYMBOLS = {
+    "and": "∧",
+    "or": "∨",
+    "not": "¬",
+    "implies": "→",
+    "iff": "↔",
+    "forall": "∀",
+    "exists": "∃",
+    "true": "⊤",
+    "false": "⊥",
+}
+
+
+def pretty(formula: Formula, *, unicode_symbols: bool = True) -> str:
+    """Render ``formula`` as a readable single-line string."""
+    sym = _SYMBOLS if unicode_symbols else {
+        "and": "&",
+        "or": "|",
+        "not": "!",
+        "implies": "->",
+        "iff": "<->",
+        "forall": "forall",
+        "exists": "exists",
+        "true": "true",
+        "false": "false",
+    }
+
+    def render(node: Formula, parent_prec: int) -> str:
+        text, prec = _render(node, sym, render)
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+
+    return render(formula, 0)
+
+
+def _render(node: Formula, sym: dict[str, str], render) -> tuple[str, int]:
+    # Precedence: atoms 5, not 4, and 3, or 2, implies/iff 1, quantifier 1.
+    if isinstance(node, TrueFormula):
+        return sym["true"], 5
+    if isinstance(node, FalseFormula):
+        return sym["false"], 5
+    if isinstance(node, Predicate):
+        if not node.args:
+            mark = "?" if node.symbol.uninterpreted else ""
+            return f"{node.symbol.name}{mark}", 5
+        inner = ", ".join(str(a) for a in node.args)
+        return f"{node.symbol.name}({inner})", 5
+    if isinstance(node, Not):
+        return f"{sym['not']}{render(node.operand, 5)}", 4
+    if isinstance(node, And):
+        return f" {sym['and']} ".join(render(op, 4) for op in node.operands), 3
+    if isinstance(node, Or):
+        return f" {sym['or']} ".join(render(op, 3) for op in node.operands), 2
+    if isinstance(node, Implies):
+        left = render(node.antecedent, 2)
+        right = render(node.consequent, 1)
+        return f"{left} {sym['implies']} {right}", 1
+    if isinstance(node, Iff):
+        return f"{render(node.left, 2)} {sym['iff']} {render(node.right, 2)}", 1
+    if isinstance(node, Forall):
+        return (
+            f"{sym['forall']}{node.variable.name}:{node.variable.sort}. "
+            f"{render(node.body, 1)}",
+            1,
+        )
+    if isinstance(node, Exists):
+        return (
+            f"{sym['exists']}{node.variable.name}:{node.variable.sort}. "
+            f"{render(node.body, 1)}",
+            1,
+        )
+    raise TypeError(f"unknown formula node: {node!r}")

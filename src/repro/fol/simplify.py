@@ -1,0 +1,175 @@
+"""FOL simplification passes.
+
+The paper's future-work list names "FOL formula simplification techniques
+such as pruning irrelevant edges before encoding" as the route around solver
+timeouts.  These passes implement the logical half of that: flattening,
+unit propagation, duplicate elimination, negation normal form, and
+predicate-relevance pruning (used by the A2 ablation bench).
+"""
+
+from __future__ import annotations
+
+from repro.fol.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Predicate,
+    TrueFormula,
+)
+from repro.fol.visitor import collect_predicates
+
+
+def simplify(formula: Formula) -> Formula:
+    """Flatten nested connectives, drop units and duplicates, fold constants.
+
+    The result is logically equivalent to the input.
+    """
+    if isinstance(formula, Not):
+        inner = simplify(formula.operand)
+        if isinstance(inner, TrueFormula):
+            return FALSE
+        if isinstance(inner, FalseFormula):
+            return TRUE
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+    if isinstance(formula, And):
+        flat: list[Formula] = []
+        for op in formula.operands:
+            s = simplify(op)
+            if isinstance(s, TrueFormula):
+                continue
+            if isinstance(s, FalseFormula):
+                return FALSE
+            if isinstance(s, And):
+                flat.extend(s.operands)
+            else:
+                flat.append(s)
+        unique = _dedupe(flat)
+        if not unique:
+            return TRUE
+        if len(unique) == 1:
+            return unique[0]
+        return And(tuple(unique))
+    if isinstance(formula, Or):
+        flat = []
+        for op in formula.operands:
+            s = simplify(op)
+            if isinstance(s, FalseFormula):
+                continue
+            if isinstance(s, TrueFormula):
+                return TRUE
+            if isinstance(s, Or):
+                flat.extend(s.operands)
+            else:
+                flat.append(s)
+        unique = _dedupe(flat)
+        if not unique:
+            return FALSE
+        if len(unique) == 1:
+            return unique[0]
+        return Or(tuple(unique))
+    if isinstance(formula, Implies):
+        ante = simplify(formula.antecedent)
+        cons = simplify(formula.consequent)
+        if isinstance(ante, FalseFormula) or isinstance(cons, TrueFormula):
+            return TRUE
+        if isinstance(ante, TrueFormula):
+            return cons
+        if isinstance(cons, FalseFormula):
+            return simplify(Not(ante))
+        return Implies(ante, cons)
+    if isinstance(formula, Iff):
+        left = simplify(formula.left)
+        right = simplify(formula.right)
+        if left == right:
+            return TRUE
+        return Iff(left, right)
+    if isinstance(formula, (Forall, Exists)):
+        body = simplify(formula.body)
+        if isinstance(body, (TrueFormula, FalseFormula)):
+            return body
+        return type(formula)(formula.variable, body)
+    return formula
+
+
+def _dedupe(formulas: list[Formula]) -> list[Formula]:
+    seen: set[Formula] = set()
+    out = []
+    for f in formulas:
+        if f not in seen:
+            seen.add(f)
+            out.append(f)
+    return out
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: negations pushed onto atoms, no Implies/Iff."""
+    return _nnf(formula, negated=False)
+
+
+def _nnf(formula: Formula, negated: bool) -> Formula:
+    if isinstance(formula, TrueFormula):
+        return FALSE if negated else TRUE
+    if isinstance(formula, FalseFormula):
+        return TRUE if negated else FALSE
+    if isinstance(formula, Predicate):
+        return Not(formula) if negated else formula
+    if isinstance(formula, Not):
+        return _nnf(formula.operand, not negated)
+    if isinstance(formula, And):
+        parts = tuple(_nnf(op, negated) for op in formula.operands)
+        return Or(parts) if negated else And(parts)
+    if isinstance(formula, Or):
+        parts = tuple(_nnf(op, negated) for op in formula.operands)
+        return And(parts) if negated else Or(parts)
+    if isinstance(formula, Implies):
+        if negated:
+            return And((_nnf(formula.antecedent, False), _nnf(formula.consequent, True)))
+        return Or((_nnf(formula.antecedent, True), _nnf(formula.consequent, False)))
+    if isinstance(formula, Iff):
+        # a <-> b  ==  (a -> b) & (b -> a)
+        expanded = And(
+            (
+                Implies(formula.left, formula.right),
+                Implies(formula.right, formula.left),
+            )
+        )
+        return _nnf(expanded, negated)
+    if isinstance(formula, Forall):
+        if negated:
+            return Exists(formula.variable, _nnf(formula.body, True))
+        return Forall(formula.variable, _nnf(formula.body, False))
+    if isinstance(formula, Exists):
+        if negated:
+            return Forall(formula.variable, _nnf(formula.body, True))
+        return Exists(formula.variable, _nnf(formula.body, False))
+    raise TypeError(f"unknown formula node: {formula!r}")
+
+
+def prune_irrelevant(formula: Formula, relevant_names: set[str]) -> Formula:
+    """Drop top-level conjuncts that share no predicate with ``relevant_names``.
+
+    This is the "pruning irrelevant edges before encoding" optimisation: a
+    policy encoding is a big conjunction of per-edge facts, most of which
+    cannot affect a given query.  Sound for validity checking when the query
+    only references relevant predicates and the dropped conjuncts share no
+    symbols with the kept ones.
+    """
+    simplified = simplify(formula)
+    if not isinstance(simplified, And):
+        return simplified
+    kept = [
+        op
+        for op in simplified.operands
+        if {s.name for s in collect_predicates(op)} & relevant_names
+    ]
+    return simplify(And(tuple(kept)))

@@ -1,0 +1,38 @@
+"""LLM client abstraction and the deterministic simulated backend.
+
+The paper drives every Phase 1/2/3 step that needs language understanding
+through GPT-4o-mini prompts.  This subpackage reproduces that architecture
+with a clean seam:
+
+* :class:`~repro.llm.client.LLMClient` — the string-in/string-out protocol a
+  real API client would implement.
+* :mod:`~repro.llm.prompts` — the prompt templates (with few-shot examples)
+  that the pipeline renders; these embed a machine-readable task header so
+  both real and simulated backends can respond.
+* :class:`~repro.llm.simulated.SimulatedLLM` — the offline backend: it parses
+  the rendered prompt, runs the corresponding rule-based handler built on
+  :mod:`repro.nlp`, and returns a JSON completion, exactly the shape a real
+  model is instructed to produce.
+* :class:`~repro.llm.client.CachedLLM` — response cache keyed by prompt hash,
+  mirroring the paper's caching of per-segment extractions.
+"""
+
+from repro.llm.client import CachedLLM, LLMClient, UsageStats
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.tasks import (
+    EquivalenceResponse,
+    ExtractedParameters,
+    TaskRunner,
+    TaxonomyLayerResponse,
+)
+
+__all__ = [
+    "LLMClient",
+    "CachedLLM",
+    "UsageStats",
+    "SimulatedLLM",
+    "TaskRunner",
+    "ExtractedParameters",
+    "TaxonomyLayerResponse",
+    "EquivalenceResponse",
+]

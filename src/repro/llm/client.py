@@ -1,0 +1,110 @@
+"""LLM client protocol, caching wrapper, and usage accounting.
+
+The protocol is string-in/string-out, matching how the paper's pipeline
+talks to GPT-4o-mini.  A production deployment would implement
+:class:`LLMClient` with an HTTP API call; this repository ships
+:class:`repro.llm.simulated.SimulatedLLM` as the offline backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class LLMClient(Protocol):
+    """Anything that can complete a rendered prompt."""
+
+    def complete(self, prompt: str) -> str:
+        """Return the model completion for ``prompt``."""
+        ...
+
+
+@dataclass(slots=True)
+class UsageStats:
+    """Token/call accounting, mirroring API usage reporting.
+
+    Tokens are approximated as whitespace-separated words; the point is to
+    expose the *relative* cost of pipeline stages (segment extraction
+    dominates), not to bill anyone.
+    """
+
+    calls: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    cache_hits: int = 0
+    calls_by_task: dict[str, int] = field(default_factory=dict)
+
+    def record(self, prompt: str, completion: str, task: str) -> None:
+        self.calls += 1
+        self.prompt_tokens += len(prompt.split())
+        self.completion_tokens += len(completion.split())
+        self.calls_by_task[task] = self.calls_by_task.get(task, 0) + 1
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "calls": self.calls,
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "cache_hits": self.cache_hits,
+            "calls_by_task": dict(self.calls_by_task),
+        }
+
+
+def prompt_fingerprint(prompt: str) -> str:
+    """Stable content hash of a prompt, used as the cache key."""
+    return hashlib.sha256(prompt.encode("utf-8")).hexdigest()
+
+
+class CachedLLM:
+    """Response cache around any :class:`LLMClient`.
+
+    The paper caches extracted parameters per content-hashed segment so that
+    policy updates only re-extract modified segments; this wrapper provides
+    that behaviour at the completion level.  The cache can optionally be
+    persisted to a JSON file for cross-run reuse.
+    """
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        *,
+        cache_path: str | Path | None = None,
+    ) -> None:
+        self._inner = inner
+        self._cache: dict[str, str] = {}
+        self._cache_path = Path(cache_path) if cache_path else None
+        self.stats = UsageStats()
+        if self._cache_path and self._cache_path.exists():
+            self._cache = json.loads(self._cache_path.read_text("utf-8"))
+
+    def complete(self, prompt: str) -> str:
+        key = prompt_fingerprint(prompt)
+        if key in self._cache:
+            self.stats.cache_hits += 1
+            return self._cache[key]
+        completion = self._inner.complete(prompt)
+        from repro.llm.prompts import task_name  # avoid import cycle at load
+
+        try:
+            task = task_name(prompt)
+        except Exception:  # noqa: BLE001 - accounting must never fail a call
+            task = "unknown"
+        self.stats.record(prompt, completion, task)
+        self._cache[key] = completion
+        return completion
+
+    def flush(self) -> None:
+        """Persist the cache if a path was configured."""
+        if self._cache_path:
+            self._cache_path.parent.mkdir(parents=True, exist_ok=True)
+            self._cache_path.write_text(
+                json.dumps(self._cache, indent=0, sort_keys=True), "utf-8"
+            )
+
+    def __len__(self) -> int:
+        return len(self._cache)

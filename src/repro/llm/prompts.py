@@ -1,0 +1,213 @@
+"""Prompt templates for every LLM task the pipeline issues.
+
+Each template renders to a single prompt string with three parts:
+
+1. a machine-readable header line ``### TASK: <name>`` that lets any backend
+   (real or simulated) dispatch without guessing;
+2. task instructions, including the normalization rules the paper describes
+   (base-form verbs, singularized data types, "user" standardization) and
+   few-shot examples;
+3. the payload, delimited by ``<<<BEGIN ...>>>`` / ``<<<END ...>>>`` markers.
+
+Responses are always JSON, so parsing is uniform across backends.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PromptError
+
+TASK_HEADER_PREFIX = "### TASK: "
+PAYLOAD_BEGIN = "<<<BEGIN {name}>>>"
+PAYLOAD_END = "<<<END {name}>>>"
+
+
+def _payload(name: str, text: str) -> str:
+    return (
+        PAYLOAD_BEGIN.format(name=name)
+        + "\n"
+        + text
+        + "\n"
+        + PAYLOAD_END.format(name=name)
+    )
+
+
+def extract_payload(prompt: str, name: str) -> str:
+    """Recover a named payload section from a rendered prompt."""
+    begin = PAYLOAD_BEGIN.format(name=name)
+    end = PAYLOAD_END.format(name=name)
+    start = prompt.find(begin)
+    stop = prompt.find(end)
+    if start < 0 or stop < 0 or stop < start:
+        raise PromptError(f"prompt is missing payload section {name!r}")
+    return prompt[start + len(begin) : stop].strip("\n")
+
+
+def task_name(prompt: str) -> str:
+    """Read the task name from a rendered prompt's header line."""
+    for line in prompt.splitlines():
+        if line.startswith(TASK_HEADER_PREFIX):
+            return line[len(TASK_HEADER_PREFIX) :].strip()
+    raise PromptError("prompt has no task header")
+
+
+# ---------------------------------------------------------------------------
+# Phase 1 prompts
+# ---------------------------------------------------------------------------
+
+COMPANY_NAME_INSTRUCTIONS = """\
+You are analyzing the opening of a privacy policy.  Identify the name of the
+organization that publishes this policy.  Respond with JSON:
+{"company": "<name>"}
+
+Example:
+Text: "TikTok Privacy Policy. Last updated May 2024. We are committed..."
+Response: {"company": "TikTok"}
+"""
+
+
+def render_extract_company_name(opening_text: str) -> str:
+    """Prompt asking for the organization name in the first 1000 chars."""
+    return "\n".join(
+        [
+            TASK_HEADER_PREFIX + "extract_company_name",
+            COMPANY_NAME_INSTRUCTIONS,
+            _payload("TEXT", opening_text[:1000]),
+        ]
+    )
+
+
+EXTRACT_PARAMETERS_INSTRUCTIONS = """\
+Extract every data practice from the policy statement below.  For each
+practice report seven fields:
+  sender    - who initiates the flow (use "user" for the data subject,
+              the company name for first-person references)
+  receiver  - who receives the data, or null if none is stated
+  subject   - whose data it is (normally "user")
+  data_type - the data involved, singular form ("email addresses" -> "email
+              address")
+  action    - the verb in base form ("collects" -> "collect")
+  condition - the circumstance under which the action occurs, verbatim, or
+              null; preserve vague terms such as "legitimate business
+              purposes" exactly as written and keep AND/OR operators
+  permission- true if the practice is performed/permitted, false if the
+              statement denies it ("we do not sell ...")
+
+Compound statements yield multiple practices: enumerated data types produce
+one practice per item, and coordinated verbs ("access and collect") produce
+one practice per verb.
+
+Example:
+Statement: "If you choose to find other users through your phone contacts,
+TikTok will access and collect information such as names, phone numbers,
+and email addresses."
+Response: {"practices": [
+ {"sender": "user", "receiver": null, "subject": "user",
+  "data_type": "phone contacts", "action": "access",
+  "condition": "if you choose to find other users through your phone contacts",
+  "permission": true},
+ {"sender": "TikTok", "receiver": null, "subject": "user",
+  "data_type": "name", "action": "collect",
+  "condition": "if you choose to find other users through your phone contacts",
+  "permission": true},
+ {"sender": "TikTok", "receiver": null, "subject": "user",
+  "data_type": "phone number", "action": "collect",
+  "condition": "if you choose to find other users through your phone contacts",
+  "permission": true},
+ {"sender": "TikTok", "receiver": null, "subject": "user",
+  "data_type": "email address", "action": "collect",
+  "condition": "if you choose to find other users through your phone contacts",
+  "permission": true}]}
+
+Respond with JSON of the same shape.
+"""
+
+
+def render_extract_parameters(segment_text: str, company: str) -> str:
+    """Prompt asking for the seven-field semantic parameters of a segment."""
+    return "\n".join(
+        [
+            TASK_HEADER_PREFIX + "extract_parameters",
+            f"The policy belongs to the company: {company}",
+            EXTRACT_PARAMETERS_INSTRUCTIONS,
+            _payload("STATEMENT", segment_text),
+        ]
+    )
+
+
+COREFERENCE_INSTRUCTIONS = """\
+Rewrite the text replacing first-person references ("we", "us", "our") with
+the company name given above, adjusting possessives ("our" -> "<Company>'s").
+Respond with JSON: {"resolved": "<rewritten text>"}
+"""
+
+
+def render_resolve_coreferences(text: str, company: str) -> str:
+    """Prompt asking for first-person coreference resolution."""
+    return "\n".join(
+        [
+            TASK_HEADER_PREFIX + "resolve_coreferences",
+            f"Company name: {company}",
+            COREFERENCE_INSTRUCTIONS,
+            _payload("TEXT", text),
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Phase 2 prompts (Chain-of-Layer)
+# ---------------------------------------------------------------------------
+
+TAXONOMY_LAYER_INSTRUCTIONS = """\
+You are building a taxonomy layer by layer (Chain-of-Layer).  Given the
+current taxonomy nodes and a set of remaining terms, assign each term that is
+a DIRECT subcategory of an existing node to that parent.  A term is a direct
+subcategory when it is a more specific kind of the parent concept.  Leave
+terms that belong deeper (under a term you are assigning now) unassigned for
+a later layer.  Respond with JSON:
+{"assignments": [{"term": "<term>", "parent": "<existing node>"}, ...]}
+
+Example (root "data", existing nodes ["data", "personal data", "technical data"]):
+Remaining: ["email", "device model", "contact information"]
+Response: {"assignments": [
+ {"term": "contact information", "parent": "personal data"},
+ {"term": "device model", "parent": "technical data"}]}
+("email" waits: its parent "contact information" was only just assigned.)
+"""
+
+
+def render_taxonomy_layer(
+    root: str, existing_nodes: list[str], remaining_terms: list[str]
+) -> str:
+    """Prompt asking for the next Chain-of-Layer parent assignments."""
+    return "\n".join(
+        [
+            TASK_HEADER_PREFIX + "taxonomy_layer",
+            f"Root concept: {root}",
+            TAXONOMY_LAYER_INSTRUCTIONS,
+            _payload("EXISTING", "\n".join(existing_nodes)),
+            _payload("REMAINING", "\n".join(remaining_terms)),
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Phase 3 prompts
+# ---------------------------------------------------------------------------
+
+EQUIVALENCE_INSTRUCTIONS = """\
+Do the two terms below mean the same thing in a privacy-policy context?
+Consider singular/plural and common privacy synonyms ("share"/"disclose").
+Respond with JSON: {"equivalent": true|false}
+"""
+
+
+def render_semantic_equivalence(term_a: str, term_b: str) -> str:
+    """Prompt asking whether two terms are privacy-context synonyms."""
+    return "\n".join(
+        [
+            TASK_HEADER_PREFIX + "semantic_equivalence",
+            EQUIVALENCE_INSTRUCTIONS,
+            _payload("TERM_A", term_a),
+            _payload("TERM_B", term_b),
+        ]
+    )

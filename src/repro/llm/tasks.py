@@ -1,0 +1,149 @@
+"""Typed task layer over the raw string prompt channel.
+
+``TaskRunner`` renders a prompt via :mod:`repro.llm.prompts`, sends it
+through any :class:`~repro.llm.client.LLMClient`, and parses the JSON
+completion into a typed response object.  Malformed completions raise
+:class:`repro.errors.LLMError` so pipeline code never silently consumes
+garbage.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import LLMError
+from repro.llm import prompts
+from repro.llm.client import LLMClient
+
+
+@dataclass(frozen=True, slots=True)
+class ExtractedParameters:
+    """One data practice: the paper's seven extraction fields."""
+
+    sender: str
+    receiver: str | None
+    subject: str
+    data_type: str
+    action: str
+    condition: str | None
+    permission: bool
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "sender": self.sender,
+            "receiver": self.receiver,
+            "subject": self.subject,
+            "data_type": self.data_type,
+            "action": self.action,
+            "condition": self.condition,
+            "permission": self.permission,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, object]) -> "ExtractedParameters":
+        try:
+            return cls(
+                sender=str(raw["sender"]),
+                receiver=None if raw.get("receiver") is None else str(raw["receiver"]),
+                subject=str(raw.get("subject", "user")),
+                data_type=str(raw["data_type"]),
+                action=str(raw["action"]),
+                condition=None if raw.get("condition") is None else str(raw["condition"]),
+                permission=bool(raw.get("permission", True)),
+            )
+        except KeyError as exc:
+            raise LLMError(f"practice object missing field {exc}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class TaxonomyLayerResponse:
+    """Parent assignments produced by one Chain-of-Layer iteration."""
+
+    assignments: tuple[tuple[str, str], ...]  # (term, parent)
+
+
+@dataclass(frozen=True, slots=True)
+class EquivalenceResponse:
+    """Whether two terms are privacy-context synonyms."""
+
+    equivalent: bool
+
+
+@dataclass(slots=True)
+class TaskRunner:
+    """High-level interface the pipeline uses for every LLM task."""
+
+    client: LLMClient
+    history: list[str] = field(default_factory=list)
+
+    def _complete_json(self, prompt: str) -> dict[str, object]:
+        completion = self.client.complete(prompt)
+        self.history.append(prompt)
+        try:
+            parsed = json.loads(completion)
+        except json.JSONDecodeError as exc:
+            raise LLMError(
+                f"completion is not valid JSON: {completion[:200]!r}"
+            ) from exc
+        if not isinstance(parsed, dict):
+            raise LLMError(f"completion is not a JSON object: {completion[:200]!r}")
+        return parsed
+
+    def extract_company_name(self, opening_text: str) -> str:
+        """Identify the policy's organization from its opening text."""
+        prompt = prompts.render_extract_company_name(opening_text)
+        parsed = self._complete_json(prompt)
+        company = parsed.get("company")
+        if not company or not isinstance(company, str):
+            raise LLMError("company-name task returned no company")
+        return company
+
+    def resolve_coreferences(self, text: str, company: str) -> str:
+        """Replace first-person references with the company name."""
+        prompt = prompts.render_resolve_coreferences(text, company)
+        parsed = self._complete_json(prompt)
+        resolved = parsed.get("resolved")
+        if not isinstance(resolved, str):
+            raise LLMError("coreference task returned no resolved text")
+        return resolved
+
+    def extract_parameters(
+        self, segment_text: str, company: str
+    ) -> list[ExtractedParameters]:
+        """Extract all data practices from one policy segment."""
+        prompt = prompts.render_extract_parameters(segment_text, company)
+        parsed = self._complete_json(prompt)
+        practices = parsed.get("practices")
+        if not isinstance(practices, list):
+            raise LLMError("extraction task returned no practices list")
+        return [
+            ExtractedParameters.from_dict(item)
+            for item in practices
+            if isinstance(item, dict)
+        ]
+
+    def taxonomy_layer(
+        self, root: str, existing_nodes: list[str], remaining_terms: list[str]
+    ) -> TaxonomyLayerResponse:
+        """Run one Chain-of-Layer iteration."""
+        prompt = prompts.render_taxonomy_layer(root, existing_nodes, remaining_terms)
+        parsed = self._complete_json(prompt)
+        raw = parsed.get("assignments")
+        if not isinstance(raw, list):
+            raise LLMError("taxonomy task returned no assignments list")
+        assignments = []
+        for item in raw:
+            if (
+                isinstance(item, dict)
+                and isinstance(item.get("term"), str)
+                and isinstance(item.get("parent"), str)
+            ):
+                assignments.append((item["term"], item["parent"]))
+        return TaxonomyLayerResponse(assignments=tuple(assignments))
+
+    def semantic_equivalence(self, term_a: str, term_b: str) -> bool:
+        """Ask whether two terms mean the same in a privacy context."""
+        prompt = prompts.render_semantic_equivalence(term_a, term_b)
+        parsed = self._complete_json(prompt)
+        return bool(parsed.get("equivalent", False))

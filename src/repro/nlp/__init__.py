@@ -1,0 +1,29 @@
+"""Deterministic NLP substrate.
+
+This subpackage provides the offline text-processing machinery that the
+simulated LLM backend (:mod:`repro.llm.simulated`) is built on: sentence and
+word tokenization, light morphology (verb lemmatization and noun
+singularization), curated privacy-domain lexicons, noun-phrase chunking with
+coordination expansion, and clause-level patterns for data-practice
+statements.
+
+Nothing in here depends on network access or model weights; every function
+is pure and deterministic.
+"""
+
+from repro.nlp.tokenizer import Token, sentences, tokenize
+from repro.nlp.morphology import lemmatize_verb, singularize_noun
+from repro.nlp.chunker import expand_coordination, noun_phrases
+from repro.nlp.patterns import ClauseSplit, split_conditions
+
+__all__ = [
+    "Token",
+    "sentences",
+    "tokenize",
+    "lemmatize_verb",
+    "singularize_noun",
+    "expand_coordination",
+    "noun_phrases",
+    "ClauseSplit",
+    "split_conditions",
+]

@@ -1,0 +1,162 @@
+"""Noun-phrase chunking and coordination expansion.
+
+The paper's Table 2 shows enumerated lists expanded into one edge per item
+("name, age, username, password, ... and profile image" becomes ten distinct
+data types).  :func:`expand_coordination` implements that expansion;
+:func:`noun_phrases` finds candidate data-type and entity phrases.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.nlp.lexicon import (
+    DATA_HEAD_NOUNS,
+    DATA_MODIFIERS,
+    DETERMINERS,
+    STOPWORDS,
+)
+from repro.nlp.morphology import singularize_phrase
+from repro.nlp.tokenizer import tokenize
+
+_SUCH_AS_RE = re.compile(
+    r"\b(?:such as|including|for example|e\.g\.,?|like)\s+", re.IGNORECASE
+)
+_PARENTHETICAL_RE = re.compile(r"\([^)]*\)")
+
+
+def strip_parentheticals(text: str) -> str:
+    """Remove parenthetical asides, which carry examples not new practices."""
+    return _PARENTHETICAL_RE.sub("", text)
+
+
+def split_enumeration(text: str) -> list[str]:
+    """Split a comma/and/or coordinated list into its items.
+
+    Handles Oxford commas, "and/or", and trailing "and other X" catch-alls.
+
+    >>> split_enumeration("name, age, and email")
+    ['name', 'age', 'email']
+    """
+    # Normalize separators, then split.
+    normalized = re.sub(r"\band/or\b", ",", text, flags=re.IGNORECASE)
+    normalized = re.sub(r",?\s+\b(?:and|or)\b\s+", ", ", normalized, flags=re.IGNORECASE)
+    items = [part.strip(" .;") for part in normalized.split(",")]
+    return [item for item in items if item]
+
+
+def _clean_item(item: str) -> str:
+    """Strip leading determiners/stopwords and trailing stop-tails."""
+    words = item.split()
+    while words and (
+        words[0].lower() in DETERMINERS or words[0].lower() in STOPWORDS
+    ):
+        words = words[1:]
+    while words and words[-1].lower() in STOPWORDS:
+        words = words[:-1]
+    return " ".join(words)
+
+
+def expand_coordination(text: str, *, singularize: bool = True) -> list[str]:
+    """Expand a coordinated noun phrase into individual normalized items.
+
+    ``"name, age, username and profile image"`` becomes
+    ``["name", "age", "username", "profile image"]``.  Items introduced by
+    "such as" / "including" are treated the same as top-level items, matching
+    the paper's expansion of exemplar lists.
+    """
+    text = strip_parentheticals(text)
+    # "account and profile information, such as name, age, ..." - keep both
+    # the container phrase and the exemplars.
+    match = _SUCH_AS_RE.search(text)
+    results: list[str] = []
+    if match:
+        container = text[: match.start()].strip(" ,.;")
+        exemplars = text[match.end() :]
+        if container:
+            results.extend(expand_coordination(container, singularize=singularize))
+        results.extend(expand_coordination(exemplars, singularize=singularize))
+    else:
+        for item in split_enumeration(text):
+            cleaned = _clean_item(item)
+            if not cleaned or cleaned.lower() in STOPWORDS:
+                continue
+            if singularize:
+                cleaned = singularize_phrase(cleaned.lower())
+            else:
+                cleaned = cleaned.lower()
+            results.append(cleaned)
+    # Preserve order, drop duplicates.
+    seen: set[str] = set()
+    unique = []
+    for item in results:
+        if item not in seen:
+            seen.add(item)
+            unique.append(item)
+    return unique
+
+
+def _is_np_word(word: str) -> bool:
+    lowered = word.lower()
+    if lowered in STOPWORDS and lowered not in DATA_MODIFIERS:
+        return False
+    return word[0].isalpha()
+
+
+def noun_phrases(text: str) -> list[str]:
+    """Extract maximal candidate noun phrases from ``text``.
+
+    A phrase is a run of non-stopword alphabetic tokens, optionally joined
+    across a single "of" ("name of contacts").  Phrases are lower-cased but
+    not singularized; callers normalize as needed.
+    """
+    tokens = tokenize(text)
+    phrases: list[str] = []
+    current: list[str] = []
+
+    def flush() -> None:
+        if current:
+            phrase = " ".join(current)
+            cleaned = _clean_item(phrase)
+            if cleaned:
+                phrases.append(cleaned.lower())
+            current.clear()
+
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok.is_word and _is_np_word(tok.text):
+            current.append(tok.text)
+        elif (
+            tok.lower == "of"
+            and current
+            and i + 1 < len(tokens)
+            and tokens[i + 1].is_word
+            and _is_np_word(tokens[i + 1].text)
+        ):
+            current.append("of")
+        else:
+            flush()
+        i += 1
+    flush()
+    return phrases
+
+
+def is_data_phrase(phrase: str) -> bool:
+    """Heuristic: does ``phrase`` denote a data type?
+
+    True when the head noun (or the noun before "of") is a known data head
+    noun, or every word is a known data modifier.
+    """
+    words = phrase.lower().split()
+    if not words:
+        return False
+    if "of" in words:
+        head = words[words.index("of") - 1] if words.index("of") > 0 else words[-1]
+    else:
+        head = words[-1]
+    from repro.nlp.morphology import singularize_noun
+
+    if head in DATA_HEAD_NOUNS or singularize_noun(head) in DATA_HEAD_NOUNS:
+        return True
+    return all(w in DATA_MODIFIERS for w in words)

@@ -1,0 +1,302 @@
+"""Light morphology: verb lemmatization and noun singularization.
+
+The paper's extraction prompt normalizes actions to base form ("collects"
+becomes "collect") and singularizes data types ("email addresses" becomes
+"email address").  These rule tables implement exactly that normalization.
+"""
+
+from __future__ import annotations
+
+# Irregular verb forms mapped to their base form.  Covers the verbs that
+# actually occur in data-practice statements.
+_IRREGULAR_VERBS = {
+    "chose": "choose",
+    "chosen": "choose",
+    "gave": "give",
+    "given": "give",
+    "made": "make",
+    "sold": "sell",
+    "sent": "send",
+    "kept": "keep",
+    "held": "hold",
+    "took": "take",
+    "taken": "take",
+    "got": "get",
+    "gotten": "get",
+    "saw": "see",
+    "seen": "see",
+    "told": "tell",
+    "built": "build",
+    "found": "find",
+    "left": "leave",
+    "meant": "mean",
+    "met": "meet",
+    "paid": "pay",
+    "put": "put",
+    "read": "read",
+    "set": "set",
+    "shared": "share",
+    "stored": "store",
+    "used": "use",
+    "is": "be",
+    "are": "be",
+    "was": "be",
+    "were": "be",
+    "been": "be",
+    "has": "have",
+    "had": "have",
+    "does": "do",
+    "did": "do",
+    "done": "do",
+}
+
+# Verbs whose base form ends in 'e'; needed to undo -ing / -ed correctly.
+_E_FINAL_BASES = frozenset(
+    {
+        "us",
+        "shar",
+        "stor",
+        "provid",
+        "receiv",
+        "combin",
+        "analyz",
+        "delet",
+        "creat",
+        "mak",
+        "tak",
+        "giv",
+        "choos",
+        "serv",
+        "measur",
+        "improv",
+        "preserv",
+        "disclos",
+        "exchang",
+        "personaliz",
+        "manag",
+        "requir",
+        "includ",
+        "determin",
+        "observ",
+        "enforc",
+        "notic",
+        "updat",
+        "operat",
+        "generat",
+        "associat",
+        "integrat",
+        "aggregat",
+        "deriv",
+        "remov",
+        "complet",
+        "sav",
+        "captur",
+        "enabl",
+        "fil",
+        "infring",
+        "investigat",
+        "facilitat",
+        "promot",
+        "validat",
+        "authenticat",
+        "deactivat",
+        "engag",
+        "liv",
+        "pseudonymiz",
+        "anonymiz",
+        "advertis",
+        "recogniz",
+        "acquir",
+        "compil",
+        "configur",
+        "customiz",
+        "declin",
+        "describ",
+        "exercis",
+        "financ",
+        "localiz",
+        "merg",
+        "minimiz",
+        "optimiz",
+        "produc",
+        "purchas",
+        "reduc",
+        "refin",
+        "releas",
+        "resolv",
+        "respons",
+        "retriev",
+        "revok",
+        "rotat",
+        "schedul",
+        "secur",
+        "subscrib",
+        "terminat",
+        "trad",
+        "translat",
+        "erase".rstrip("e"),
+    }
+)
+
+_VOWELS = frozenset("aeiou")
+
+# Irregular noun plurals mapped to singular.
+_IRREGULAR_NOUNS = {
+    "children": "child",
+    "people": "person",
+    "men": "man",
+    "women": "woman",
+    "criteria": "criterion",
+    "phenomena": "phenomenon",
+    "analyses": "analysis",
+    "diagnoses": "diagnosis",
+    "indices": "index",
+    "matrices": "matrix",
+    "geese": "goose",
+    "feet": "foot",
+    "teeth": "tooth",
+    "mice": "mouse",
+    "lives": "life",
+    "selves": "self",
+    "themselves": "themselves",
+    # Singulars ending in -ie, which the -ies -> -y rule would mangle.
+    "cookies": "cookie",
+    "movies": "movie",
+    "selfies": "selfie",
+    "lies": "lie",
+    "ties": "tie",
+}
+
+# Words that look plural but are not, or whose plural equals the singular.
+_UNCOUNTABLE = frozenset(
+    {
+        "data",
+        "metadata",
+        "media",
+        "information",
+        "analytics",
+        "biometrics",
+        "demographics",
+        "diagnostics",
+        "news",
+        "series",
+        "species",
+        "contents",
+        "premises",
+        "goods",
+        "proceeds",
+        "basis",
+        "status",
+        "address",  # singular already
+        "access",
+        "business",
+        "process",
+        "purchase",
+        "this",
+        "its",
+        "was",
+        "is",
+        "has",
+        "vis",
+        "bus",
+        "gps",
+        "sms",
+        "ios",
+        "https",
+        "cookies",  # handled below: plural but keep rule path simple
+    }
+) - {"cookies"}
+
+
+def lemmatize_verb(word: str) -> str:
+    """Return the base form of a verb surface form.
+
+    >>> lemmatize_verb("collects")
+    'collect'
+    >>> lemmatize_verb("sharing")
+    'share'
+    >>> lemmatize_verb("chose")
+    'choose'
+    """
+    w = word.lower()
+    if w in _IRREGULAR_VERBS:
+        return _IRREGULAR_VERBS[w]
+    if w.endswith("ies") and len(w) > 4:
+        return w[:-3] + "y"
+    if w.endswith("sses") or w.endswith("shes") or w.endswith("ches") or w.endswith("xes") or w.endswith("zes"):
+        return w[:-2]
+    if w.endswith("oes") and len(w) > 4:
+        return w[:-2]
+    if w.endswith("s") and not w.endswith("ss") and len(w) > 3:
+        return w[:-1]
+    if w.endswith("ing") and len(w) > 4:
+        stem = w[:-3]
+        return _restore_stem(stem)
+    if w.endswith("ied") and len(w) > 4:
+        return w[:-3] + "y"
+    if w.endswith("ed") and len(w) > 4:
+        stem = w[:-2]
+        return _restore_stem(stem)
+    return w
+
+
+def _restore_stem(stem: str) -> str:
+    """Undo consonant doubling / e-deletion after stripping -ing / -ed."""
+    if len(stem) >= 3 and stem[-1] == stem[-2] and stem[-1] not in _VOWELS and stem[-1] not in "sl":
+        return stem[:-1]
+    if stem in _E_FINAL_BASES:
+        return stem + "e"
+    # Heuristic: consonant + single vowel + consonant often had a final 'e'
+    # ("stor" -> "store"); prefer the lexicon above, fall back to stem as-is.
+    return stem
+
+
+def singularize_noun(word: str) -> str:
+    """Return the singular form of a noun surface form.
+
+    >>> singularize_noun("addresses")
+    'address'
+    >>> singularize_noun("cookies")
+    'cookie'
+    >>> singularize_noun("data")
+    'data'
+    """
+    w = word.lower()
+    if w in _UNCOUNTABLE or len(w) <= 2:
+        return w
+    if w in _IRREGULAR_NOUNS:
+        return _IRREGULAR_NOUNS[w]
+    if w.endswith("ies") and len(w) > 4:
+        return w[:-3] + "y"
+    if w.endswith("sses") or w.endswith("shes") or w.endswith("ches") or w.endswith("xes") or w.endswith("zes"):
+        return w[:-2]
+    if w.endswith("oes") and len(w) > 4:
+        return w[:-2]
+    if w.endswith("ses") and len(w) > 4:
+        # "purchases" -> "purchase", "addresses" handled above, "purposes" -> "purpose"
+        return w[:-1]
+    if w.endswith("s") and not w.endswith("ss") and not w.endswith("us") and not w.endswith("is"):
+        return w[:-1]
+    return w
+
+
+def singularize_phrase(phrase: str) -> str:
+    """Singularize the head (final) noun of a multi-word phrase.
+
+    >>> singularize_phrase("email addresses")
+    'email address'
+    >>> singularize_phrase("phone numbers of contacts")
+    'phone number of contacts'
+    """
+    tokens = phrase.split()
+    if not tokens:
+        return phrase
+    # The head noun of an "X of Y" phrase is the noun before "of".
+    if "of" in tokens:
+        head_index = tokens.index("of") - 1
+    else:
+        head_index = len(tokens) - 1
+    if head_index < 0:
+        return phrase
+    tokens[head_index] = singularize_noun(tokens[head_index])
+    return " ".join(tokens)

@@ -1,0 +1,53 @@
+"""SMT-LIB v2 generation and parsing.
+
+The paper implements "a custom compiler that converts FOL formulas to
+SMT-LIB v2 format".  This subpackage provides both directions:
+
+* :mod:`repro.smtlib.printer` — compile FOL formulas into an
+  :class:`~repro.smtlib.script.SMTScript` (declarations, assertions, the
+  negated implication for validity checking, ``check-sat``);
+* :mod:`repro.smtlib.parser` — parse SMT-LIB v2 text back into commands and
+  execute them against :class:`repro.solver.Solver`.
+
+The verification path round-trips through the actual textual format, so the
+generated artifacts are inspectable and solver-agnostic.
+"""
+
+from repro.smtlib.ast import SExpr, parse_sexprs, sexpr_to_text
+from repro.smtlib.printer import compile_formula, compile_validity_script
+from repro.smtlib.parser import execute_script, execute_script_verbose, parse_script
+from repro.smtlib.script import (
+    Assert,
+    CheckSat,
+    CheckSatAssuming,
+    Command,
+    DeclareConst,
+    DeclareFun,
+    DeclareSort,
+    Pop,
+    Push,
+    SetLogic,
+    SMTScript,
+)
+
+__all__ = [
+    "SExpr",
+    "parse_sexprs",
+    "sexpr_to_text",
+    "SMTScript",
+    "Command",
+    "SetLogic",
+    "DeclareSort",
+    "DeclareConst",
+    "DeclareFun",
+    "Assert",
+    "CheckSat",
+    "CheckSatAssuming",
+    "Push",
+    "Pop",
+    "compile_formula",
+    "compile_validity_script",
+    "parse_script",
+    "execute_script",
+    "execute_script_verbose",
+]

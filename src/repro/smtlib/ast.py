@@ -1,0 +1,88 @@
+"""S-expression representation and (de)serialization.
+
+SMT-LIB v2 is a fully parenthesized s-expression language; this module is
+the shared substrate for both the printer and the parser.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SMTLibParseError
+
+#: An s-expression: an atom (str) or a list of s-expressions.
+SExpr = str | list
+
+
+def sexpr_to_text(expr: SExpr) -> str:
+    """Serialize one s-expression to SMT-LIB text."""
+    if isinstance(expr, str):
+        return expr
+    return "(" + " ".join(sexpr_to_text(e) for e in expr) + ")"
+
+
+def _tokenize(text: str) -> list[tuple[str, int]]:
+    """Tokenize SMT-LIB text into (token, line) pairs, dropping comments."""
+    tokens: list[tuple[str, int]] = []
+    line = 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+        elif ch in " \t\r":
+            i += 1
+        elif ch == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch in "()":
+            tokens.append((ch, line))
+            i += 1
+        elif ch == "|":
+            j = text.find("|", i + 1)
+            if j < 0:
+                raise SMTLibParseError("unterminated quoted symbol", line)
+            tokens.append((text[i : j + 1], line))
+            line += text.count("\n", i, j)
+            i = j + 1
+        elif ch == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 1
+            if j >= n:
+                raise SMTLibParseError("unterminated string literal", line)
+            tokens.append((text[i : j + 1], line))
+            i = j + 1
+        else:
+            j = i
+            while j < n and text[j] not in " \t\r\n();":
+                j += 1
+            tokens.append((text[i:j], line))
+            i = j
+    return tokens
+
+
+def parse_sexprs(text: str) -> list[SExpr]:
+    """Parse SMT-LIB text into a list of top-level s-expressions."""
+    tokens = _tokenize(text)
+    exprs: list[SExpr] = []
+    stack: list[list] = []
+    for token, line in tokens:
+        if token == "(":
+            stack.append([])
+        elif token == ")":
+            if not stack:
+                raise SMTLibParseError("unbalanced ')'", line)
+            done = stack.pop()
+            if stack:
+                stack[-1].append(done)
+            else:
+                exprs.append(done)
+        else:
+            if stack:
+                stack[-1].append(token)
+            else:
+                exprs.append(token)
+    if stack:
+        raise SMTLibParseError("unbalanced '(' at end of input")
+    return exprs

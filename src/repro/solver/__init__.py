@@ -1,0 +1,22 @@
+"""SMT solver substrate.
+
+A from-scratch solver standing in for CVC5: Tseitin CNF conversion, a CDCL
+SAT core (watched literals, VSIDS, Luby restarts), congruence closure for
+equality over uninterpreted functions (lazy DPLL(T)), finite-domain
+quantifier grounding, push/pop incrementality with ``check-sat-assuming``,
+and explicit resource budgets so that the paper's solver timeouts surface
+as first-class ``UNKNOWN`` results instead of hangs.
+"""
+
+from repro.solver.interface import Solver, SolverBudget
+from repro.solver.result import SatResult, SolverResult, SolverStatistics
+from repro.solver.grounding import Universe
+
+__all__ = [
+    "Solver",
+    "SolverBudget",
+    "SolverResult",
+    "SatResult",
+    "SolverStatistics",
+    "Universe",
+]

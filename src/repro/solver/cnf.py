@@ -1,0 +1,99 @@
+"""Tseitin transformation of ground formulas to CNF.
+
+Each non-atomic subformula gets a definition variable; the output is an
+equisatisfiable clause set whose size is linear in the formula size (the
+quadratic/exponential blow-up the paper reports comes from *grounding*, not
+from this step).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SolverError
+from repro.fol.formula import (
+    And,
+    FalseFormula,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Predicate,
+    TrueFormula,
+)
+from repro.fol.terms import Application, Constant, Term, Variable
+from repro.solver.literals import AtomPool, Clause
+
+
+def atom_key(atom: Predicate) -> str:
+    """Canonical string key of a ground atom."""
+    if not atom.args:
+        return atom.symbol.name
+    rendered = ",".join(_term_key(a) for a in atom.args)
+    return f"{atom.symbol.name}({rendered})"
+
+
+def _term_key(term: Term) -> str:
+    if isinstance(term, Constant):
+        return term.name
+    if isinstance(term, Application):
+        inner = ",".join(_term_key(a) for a in term.args)
+        return f"{term.symbol.name}({inner})"
+    if isinstance(term, Variable):
+        raise SolverError(f"formula is not ground: free variable {term.name}")
+    raise SolverError(f"unsupported term {term!r}")
+
+
+def tseitin(formula: Formula, pool: AtomPool) -> list[Clause]:
+    """Clauses asserting ``formula``, using ``pool`` for variables."""
+    clauses: list[Clause] = []
+    root = _encode(formula, pool, clauses)
+    clauses.append((root,))
+    return clauses
+
+
+def _encode(node: Formula, pool: AtomPool, clauses: list[Clause]) -> int:
+    """Return a literal equivalent to ``node``, emitting definition clauses."""
+    if isinstance(node, TrueFormula):
+        var = pool.fresh("true")
+        clauses.append((var,))
+        return var
+    if isinstance(node, FalseFormula):
+        var = pool.fresh("false")
+        clauses.append((-var,))
+        return var
+    if isinstance(node, Predicate):
+        return pool.variable_for(atom_key(node))
+    if isinstance(node, Not):
+        return -_encode(node.operand, pool, clauses)
+    if isinstance(node, And):
+        if not node.operands:
+            return _encode(TrueFormula(), pool, clauses)
+        lits = [_encode(op, pool, clauses) for op in node.operands]
+        out = pool.fresh("and")
+        # out -> each lit;  all lits -> out.
+        for lit in lits:
+            clauses.append((-out, lit))
+        clauses.append(tuple([-lit for lit in lits] + [out]))
+        return out
+    if isinstance(node, Or):
+        if not node.operands:
+            return _encode(FalseFormula(), pool, clauses)
+        lits = [_encode(op, pool, clauses) for op in node.operands]
+        out = pool.fresh("or")
+        # out -> some lit;  each lit -> out.
+        clauses.append(tuple([-out] + lits))
+        for lit in lits:
+            clauses.append((-lit, out))
+        return out
+    if isinstance(node, Implies):
+        return _encode(Or((Not(node.antecedent), node.consequent)), pool, clauses)
+    if isinstance(node, Iff):
+        left = _encode(node.left, pool, clauses)
+        right = _encode(node.right, pool, clauses)
+        out = pool.fresh("iff")
+        clauses.append((-out, -left, right))
+        clauses.append((-out, left, -right))
+        clauses.append((out, left, right))
+        clauses.append((out, -left, -right))
+        return out
+    raise SolverError(f"tseitin: formula is not ground/propositional: {node!r}")

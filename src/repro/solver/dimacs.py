@@ -1,0 +1,97 @@
+"""DIMACS CNF import/export.
+
+The standard interchange format for SAT instances.  Export lets the
+propositional skeleton of any policy encoding be handed to an external SAT
+solver for cross-checking; import lets the bundled CDCL core run standard
+benchmark files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import SolverError
+from repro.solver.literals import AtomPool, Clause
+
+
+def to_dimacs(
+    clauses: list[Clause],
+    *,
+    num_vars: int | None = None,
+    pool: AtomPool | None = None,
+) -> str:
+    """Serialize ``clauses`` to DIMACS CNF text.
+
+    When ``pool`` is given, named atoms are emitted as ``c varname`` comment
+    lines so the mapping survives the round trip for human readers.
+    """
+    if num_vars is None:
+        num_vars = max((abs(l) for c in clauses for l in c), default=0)
+    lines = []
+    if pool is not None:
+        for key, var in sorted(pool.named_atoms().items(), key=lambda kv: kv[1]):
+            lines.append(f"c var {var} = {key}")
+    lines.append(f"p cnf {num_vars} {len(clauses)}")
+    for clause in clauses:
+        lines.append(" ".join(str(l) for l in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def from_dimacs(text: str) -> tuple[int, list[Clause]]:
+    """Parse DIMACS CNF text into (num_vars, clauses).
+
+    Accepts comments, the problem line, and clauses possibly spanning
+    multiple lines (terminated by 0, per the spec).
+    """
+    num_vars: int | None = None
+    declared_clauses: int | None = None
+    clauses: list[Clause] = []
+    current: list[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c") or line.startswith("%"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise SolverError(f"malformed problem line: {line!r}")
+            num_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            continue
+        for token in line.split():
+            value = int(token)
+            if value == 0:
+                if current:
+                    clauses.append(tuple(current))
+                    current = []
+            else:
+                current.append(value)
+    if current:
+        clauses.append(tuple(current))
+    if num_vars is None:
+        raise SolverError("missing 'p cnf' problem line")
+    if declared_clauses is not None and declared_clauses != len(clauses):
+        # Tolerated (many published files are off by a few) but validated
+        # enough to catch wholesale truncation.
+        if abs(declared_clauses - len(clauses)) > max(2, declared_clauses // 10):
+            raise SolverError(
+                f"clause count mismatch: declared {declared_clauses}, found {len(clauses)}"
+            )
+    return num_vars, clauses
+
+
+def solve_dimacs_file(path: str | Path, **solver_kwargs) -> tuple[str, dict[int, bool]]:
+    """Solve a DIMACS file with the bundled CDCL core.
+
+    Returns (verdict, model); the model is empty for unsat instances.
+    """
+    from repro.solver.result import SatResult
+    from repro.solver.sat import CDCLSolver
+
+    num_vars, clauses = from_dimacs(Path(path).read_text("utf-8"))
+    solver = CDCLSolver(num_vars, **solver_kwargs)
+    for clause in clauses:
+        solver.add_clause(clause)
+    verdict = solver.solve()
+    model = solver.model() if verdict is SatResult.SAT else {}
+    return verdict.value, model

@@ -1,0 +1,193 @@
+"""Congruence closure for equality over uninterpreted functions (EUF).
+
+The theory layer behind the solver's DPLL(T) loop.  Atoms arrive as
+canonical key strings ("=(a,b)", "share(tiktok,email)", "flag"); the
+closure parses them into term nodes, merges equivalence classes under the
+asserted equalities, propagates congruence (f(a) = f(b) when a = b), and
+reports a conflict when a disequality is violated or when two congruent
+predicate applications carry opposite truth values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+EQ_PREDICATE = "="
+
+
+@dataclass(frozen=True, slots=True)
+class Node:
+    """A parsed term: function/constant name applied to child node keys."""
+
+    key: str
+    name: str
+    children: tuple[str, ...]
+
+
+def parse_term(key: str) -> tuple[Node, list[Node]]:
+    """Parse a canonical term key into its node and all descendant nodes."""
+    nodes: list[Node] = []
+
+    def parse(s: str) -> str:
+        open_paren = s.find("(")
+        if open_paren < 0:
+            node = Node(key=s, name=s, children=())
+            nodes.append(node)
+            return s
+        name = s[:open_paren]
+        inner = s[open_paren + 1 : -1]
+        child_keys = []
+        depth = 0
+        start = 0
+        for i, ch in enumerate(inner):
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+            elif ch == "," and depth == 0:
+                child_keys.append(parse(inner[start:i]))
+                start = i + 1
+        if inner:
+            child_keys.append(parse(inner[start:]))
+        node = Node(key=s, name=name, children=tuple(child_keys))
+        nodes.append(node)
+        return s
+
+    parse(key)
+    return nodes[-1], nodes
+
+
+def parse_atom(key: str) -> tuple[str, tuple[str, ...]]:
+    """Split an atom key into predicate name and argument term keys."""
+    open_paren = key.find("(")
+    if open_paren < 0:
+        return key, ()
+    name = key[:open_paren]
+    inner = key[open_paren + 1 : -1]
+    args: list[str] = []
+    depth = 0
+    start = 0
+    for i, ch in enumerate(inner):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            args.append(inner[start:i])
+            start = i + 1
+    if inner:
+        args.append(inner[start:])
+    return name, tuple(args)
+
+
+class CongruenceClosure:
+    """Union-find with congruence propagation over term nodes."""
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+        self._nodes: dict[str, Node] = {}
+
+    def add_term(self, key: str) -> None:
+        if key in self._nodes:
+            return
+        _root, nodes = parse_term(key)
+        for node in nodes:
+            if node.key not in self._nodes:
+                self._nodes[node.key] = node
+                self._parent[node.key] = node.key
+
+    def find(self, key: str) -> str:
+        root = key
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[key] != root:
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def merge(self, a: str, b: str) -> None:
+        self.add_term(a)
+        self.add_term(b)
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def are_equal(self, a: str, b: str) -> bool:
+        self.add_term(a)
+        self.add_term(b)
+        return self.find(a) == self.find(b)
+
+    def propagate_congruence(self) -> None:
+        """Merge congruent applications until fixpoint.
+
+        Two applications are congruent when they share a function name and
+        their argument lists are pairwise equal in the current closure.
+        """
+        changed = True
+        while changed:
+            changed = False
+            signatures: dict[tuple[str, tuple[str, ...]], str] = {}
+            for node in self._nodes.values():
+                if not node.children:
+                    continue
+                sig = (node.name, tuple(self.find(c) for c in node.children))
+                other = signatures.get(sig)
+                if other is None:
+                    signatures[sig] = node.key
+                elif self.find(other) != self.find(node.key):
+                    self.merge(other, node.key)
+                    changed = True
+
+
+def check_euf(assignment: list[tuple[str, bool]]) -> list[tuple[str, bool]] | None:
+    """Check a full assignment of atoms for EUF consistency.
+
+    Args:
+        assignment: (atom_key, value) pairs covering the atoms of interest.
+
+    Returns:
+        None when consistent, otherwise the subset of assigned literals
+        that together form an inconsistency (a valid blocking clause is the
+        disjunction of their negations).
+    """
+    closure = CongruenceClosure()
+    equalities: list[tuple[str, str, str]] = []
+    disequalities: list[tuple[str, str, str]] = []
+    applications: list[tuple[str, bool, str, tuple[str, ...]]] = []
+
+    for key, value in assignment:
+        name, args = parse_atom(key)
+        if name == EQ_PREDICATE and len(args) == 2:
+            if value:
+                equalities.append((key, args[0], args[1]))
+            else:
+                disequalities.append((key, args[0], args[1]))
+            closure.add_term(args[0])
+            closure.add_term(args[1])
+        else:
+            for arg in args:
+                closure.add_term(arg)
+            applications.append((key, value, name, args))
+
+    for _key, a, b in equalities:
+        closure.merge(a, b)
+    closure.propagate_congruence()
+
+    for key, a, b in disequalities:
+        if closure.are_equal(a, b):
+            culprits = [(key, False)] + [(k, True) for k, _a, _b in equalities]
+            return culprits
+
+    # Congruent predicate applications must agree on truth value.
+    by_signature: dict[tuple[str, tuple[str, ...]], tuple[str, bool]] = {}
+    for key, value, name, args in applications:
+        sig = (name, tuple(closure.find(a) for a in args))
+        seen = by_signature.get(sig)
+        if seen is None:
+            by_signature[sig] = (key, value)
+        elif seen[1] != value:
+            culprits = [(seen[0], seen[1]), (key, value)] + [
+                (k, True) for k, _a, _b in equalities
+            ]
+            return culprits
+    return None

@@ -1,0 +1,223 @@
+"""Solver façade: the public API of the SMT substrate.
+
+Mirrors the slice of the SMT-LIB command set the pipeline uses: declare
+constants, assert formulas, ``push``/``pop``, ``check-sat``, and
+``check-sat-assuming``.  Formulas may contain quantifiers; they are
+grounded over the declared universe at check time.  All resource budgets
+convert to UNKNOWN results with an explanatory reason — the mechanism by
+which the paper's "solver timeouts" are observed rather than suffered.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import BudgetExceededError, SolverError
+from repro.fol.formula import Formula, Not, Predicate
+from repro.fol.simplify import simplify
+from repro.fol.visitor import collect_constants, free_variables
+from repro.solver.cnf import atom_key, tseitin
+from repro.solver.grounding import GroundingCounter, Universe, ground
+from repro.solver.literals import AtomPool
+from repro.solver.preprocess import preprocess
+from repro.solver.result import SatResult, SolverResult, SolverStatistics
+from repro.solver.sat import CDCLSolver
+from repro.solver.theory import solve_with_theory
+
+
+@dataclass(frozen=True, slots=True)
+class SolverBudget:
+    """Resource limits for one check.
+
+    ``None`` disables the corresponding limit.  The defaults are generous
+    enough for query-sized problems and small enough that a full-policy
+    encoding reliably reports UNKNOWN instead of hanging.
+    """
+
+    max_conflicts: int | None = 50_000
+    max_propagations: int | None = 5_000_000
+    max_ground_instances: int | None = 200_000
+    timeout_seconds: float | None = 10.0
+
+
+class Solver:
+    """An incremental SMT solver over many-sorted ground/quantified FOL."""
+
+    def __init__(
+        self,
+        budget: SolverBudget | None = None,
+        *,
+        enable_preprocessing: bool = False,
+    ) -> None:
+        self.budget = budget or SolverBudget()
+        self.enable_preprocessing = enable_preprocessing
+        self.universe = Universe()
+        self.statistics = SolverStatistics()
+        self._stack: list[list[Formula]] = [[]]
+        self._persistent: tuple[CDCLSolver, AtomPool] | None = None
+        # The grounding budget is cumulative over the whole problem: a
+        # policy-sized assertion set exhausts it even though each individual
+        # quantified axiom is small.  This is the mechanism behind the
+        # full-policy UNKNOWNs (the paper's solver timeouts).
+        self._ground_counter = GroundingCounter(self.budget.max_ground_instances)
+
+    # ------------------------------------------------------------------
+    # Assertion stack
+    # ------------------------------------------------------------------
+
+    def declare_constant(self, constant) -> None:
+        """Add a constant to the grounding universe."""
+        self.universe.declare(constant)
+
+    def assert_formula(self, formula: Formula) -> None:
+        """Assert ``formula`` at the current stack level.
+
+        Constants appearing in the formula are auto-declared.
+        """
+        self.universe.declare_all(collect_constants(formula))
+        self._stack[-1].append(formula)
+        if self._persistent is not None:
+            sat, pool = self._persistent
+            try:
+                self._load_formula(formula, sat, pool)
+            except BudgetExceededError:
+                self._persistent = None
+
+    def push(self) -> None:
+        """Open a new assertion scope."""
+        self._stack.append([])
+
+    def pop(self) -> None:
+        """Discard the innermost assertion scope."""
+        if len(self._stack) == 1:
+            raise SolverError("pop on empty assertion stack")
+        self._stack.pop()
+        self._persistent = None  # learned state may depend on popped clauses
+
+    @property
+    def assertions(self) -> list[Formula]:
+        """All currently asserted formulas, outermost scope first."""
+        return [f for scope in self._stack for f in scope]
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+
+    def check_sat(self) -> SolverResult:
+        """Is the conjunction of all assertions satisfiable?"""
+        return self._check(assumption_formulas=())
+
+    def check_sat_assuming(self, assumptions: list[Formula]) -> SolverResult:
+        """check-sat under temporary literal assumptions.
+
+        Assumptions must be ground atoms or their negations.  The solver
+        instance (and its learned clauses) is reused across consecutive
+        assuming-checks, which is the incremental-solving capability the
+        paper names as future work.
+        """
+        return self._check(assumption_formulas=tuple(assumptions))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _deadline(self) -> float | None:
+        if self.budget.timeout_seconds is None:
+            return None
+        return time.monotonic() + self.budget.timeout_seconds
+
+    def _clauses_for(self, formula: Formula, pool: AtomPool) -> list:
+        grounded = simplify(
+            ground(formula, self.universe, counter=self._ground_counter)
+        )
+        self.statistics.ground_instances = self._ground_counter.count
+        if free_variables(grounded):
+            raise SolverError("assertion has free variables after grounding")
+        return tseitin(grounded, pool)
+
+    def _load_formula(self, formula: Formula, sat: CDCLSolver, pool: AtomPool) -> None:
+        for clause in self._clauses_for(formula, pool):
+            # A False return marks the instance root-unsat; the SAT core
+            # remembers and reports it on the next solve.
+            sat.add_clause(clause)
+
+    def _build(self) -> tuple[CDCLSolver, AtomPool]:
+        if self._persistent is not None:
+            return self._persistent
+        # Rebuilding from scratch re-grounds everything: start the
+        # cumulative budget over.
+        self._ground_counter = GroundingCounter(self.budget.max_ground_instances)
+        pool = AtomPool()
+        sat = CDCLSolver(
+            0,
+            stats=self.statistics,
+            max_conflicts=self.budget.max_conflicts,
+            max_propagations=self.budget.max_propagations,
+        )
+        clauses: list = []
+        for formula in self.assertions:
+            clauses.extend(self._clauses_for(formula, pool))
+        if self.enable_preprocessing:
+            # Named atoms stay protected: assumptions and model extraction
+            # must see their real values.  Pure-literal elimination is
+            # therefore safe on auxiliary (Tseitin) variables only.
+            protected = frozenset(pool.named_atoms().values())
+            result = preprocess(clauses, pure_literals=True, protect=protected)
+            if result.conflict:
+                sat.ensure_vars(pool.count)
+                var = pool.fresh("conflict")
+                sat.add_clause((var,))
+                sat.add_clause((-var,))
+                self._persistent = (sat, pool)
+                return self._persistent
+            clauses = list(result.clauses)
+            clauses.extend(
+                (var,) if value else (-var,) for var, value in result.fixed.items()
+            )
+        for clause in clauses:
+            sat.add_clause(clause)
+        sat.ensure_vars(pool.count)
+        self._persistent = (sat, pool)
+        return self._persistent
+
+    def _assumption_literal(self, formula: Formula, pool: AtomPool) -> int:
+        negated = False
+        node = formula
+        while isinstance(node, Not):
+            negated = not negated
+            node = node.operand
+        if not isinstance(node, Predicate):
+            raise SolverError("assumptions must be (negated) ground atoms")
+        var = pool.variable_for(atom_key(node))
+        return -var if negated else var
+
+    def _check(self, assumption_formulas: tuple[Formula, ...]) -> SolverResult:
+        start = time.monotonic()
+        try:
+            sat, pool = self._build()
+            sat.deadline = self._deadline()
+            lits = tuple(
+                self._assumption_literal(f, pool) for f in assumption_formulas
+            )
+            sat.ensure_vars(pool.count)
+            verdict = solve_with_theory(
+                sat, pool, assumptions=lits, stats=self.statistics
+            )
+        except BudgetExceededError as exc:
+            self._persistent = None
+            self.statistics.solve_time_seconds += time.monotonic() - start
+            return SolverResult(
+                status=SatResult.UNKNOWN,
+                reason=str(exc),
+                statistics=self.statistics,
+            )
+        self.statistics.solve_time_seconds += time.monotonic() - start
+        self.statistics.variables = pool.count
+        model: dict[str, bool] = {}
+        if verdict is SatResult.SAT:
+            raw = sat.model()
+            model = {
+                key: raw.get(var, False) for key, var in pool.named_atoms().items()
+            }
+        return SolverResult(status=verdict, model=model, statistics=self.statistics)

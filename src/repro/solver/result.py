@@ -1,0 +1,83 @@
+"""Solver results and statistics."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SatResult(enum.Enum):
+    """Outcome of a satisfiability check."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(slots=True)
+class SolverStatistics:
+    """Work counters accumulated across checks on one solver instance."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned_clauses: int = 0
+    db_reductions: int = 0
+    restarts: int = 0
+    theory_checks: int = 0
+    theory_conflicts: int = 0
+    ground_instances: int = 0
+    clauses: int = 0
+    variables: int = 0
+    solve_time_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "learned_clauses": self.learned_clauses,
+            "db_reductions": self.db_reductions,
+            "restarts": self.restarts,
+            "theory_checks": self.theory_checks,
+            "theory_conflicts": self.theory_conflicts,
+            "ground_instances": self.ground_instances,
+            "clauses": self.clauses,
+            "variables": self.variables,
+            "solve_time_seconds": self.solve_time_seconds,
+        }
+
+
+@dataclass(slots=True)
+class SolverResult:
+    """A check-sat outcome plus diagnostics.
+
+    ``reason`` explains UNKNOWN outcomes ("conflict budget exhausted",
+    "wall-clock timeout", "grounding budget exhausted").  ``model`` maps
+    atom keys to booleans for SAT outcomes.
+    """
+
+    status: SatResult
+    reason: str = ""
+    model: dict[str, bool] = field(default_factory=dict)
+    statistics: SolverStatistics = field(default_factory=SolverStatistics)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is SatResult.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is SatResult.UNSAT
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status is SatResult.UNKNOWN
+
+    def __str__(self) -> str:
+        if self.reason:
+            return f"{self.status} ({self.reason})"
+        return str(self.status)

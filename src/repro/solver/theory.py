@@ -1,0 +1,70 @@
+"""Lazy DPLL(T) integration of the SAT core with the EUF theory.
+
+The SAT core enumerates boolean models of the CNF skeleton; each full model
+is checked for EUF consistency.  Inconsistent models are excluded with a
+blocking clause built from the theory conflict, and the search resumes.
+This is the classical lazy SMT loop (the eager alternative would encode
+congruence axioms up front).
+"""
+
+from __future__ import annotations
+
+from repro.errors import BudgetExceededError
+from repro.solver.euf import EQ_PREDICATE, check_euf, parse_atom
+from repro.solver.literals import AtomPool
+from repro.solver.result import SatResult, SolverStatistics
+from repro.solver.sat import CDCLSolver
+
+_MAX_THEORY_ROUNDS = 10_000
+
+
+def needs_theory(pool: AtomPool) -> bool:
+    """True when any named atom involves equality or function terms."""
+    for key in pool.named_atoms():
+        name, args = parse_atom(key)
+        if name == EQ_PREDICATE:
+            return True
+        if any("(" in a for a in args):
+            return True
+    return False
+
+
+def solve_with_theory(
+    sat: CDCLSolver,
+    pool: AtomPool,
+    *,
+    assumptions: tuple[int, ...] = (),
+    stats: SolverStatistics | None = None,
+) -> SatResult:
+    """Run the lazy DPLL(T) loop; returns the T-consistent verdict.
+
+    Pure-boolean problems (no equality atoms, no function applications)
+    skip theory checking entirely.
+    """
+    stats = stats or sat.stats
+    theory_active = needs_theory(pool)
+
+    for _round in range(_MAX_THEORY_ROUNDS):
+        verdict = sat.solve(assumptions)
+        if verdict is not SatResult.SAT or not theory_active:
+            return verdict
+
+        stats.theory_checks += 1
+        model = sat.model()
+        named = pool.named_atoms()
+        assignment = [
+            (key, model[var]) for key, var in named.items() if var in model
+        ]
+        conflict = check_euf(assignment)
+        if conflict is None:
+            return SatResult.SAT
+
+        stats.theory_conflicts += 1
+        blocking = tuple(
+            -pool.variable_for(key) if value else pool.variable_for(key)
+            for key, value in conflict
+        )
+        if not sat.add_clause(blocking):
+            return SatResult.UNSAT
+
+    raise BudgetExceededError("theory round budget exhausted")

@@ -1,0 +1,64 @@
+"""Shared fixtures.
+
+Expensive artifacts (full policy models) are session-scoped; the small
+policy fixture keeps most tests fast and independent of the big corpora.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PipelineConfig, PolicyPipeline
+from repro.llm.client import CachedLLM
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.tasks import TaskRunner
+
+SMALL_POLICY = """\
+Acme Privacy Policy. Last updated January 2025. Welcome to Acme ("Acme", \
+"we", "us", or "our"). This Privacy Policy explains how Acme handles your \
+information.
+
+1. Information You Provide
+We collect information that you provide directly. We collect your name \
+and email address. When you create an account, you may provide your \
+name, email address, and phone number. If you contact customer support, \
+we collect your message content. Account and profile information, such \
+as username, password, and profile image.
+
+2. How We Share Your Information
+We share your usage information with analytics providers for legitimate \
+business purposes. We disclose personal information to law enforcement \
+when required by law. We do not sell your contact information to third \
+parties. We share your location information with advertisers with your \
+consent.
+
+3. Data Retention
+We retain your email address as long as your account remains active. We \
+delete your message content after 90 days.
+"""
+
+
+@pytest.fixture(scope="session")
+def runner() -> TaskRunner:
+    return TaskRunner(CachedLLM(SimulatedLLM()))
+
+
+@pytest.fixture(scope="session")
+def pipeline() -> PolicyPipeline:
+    return PolicyPipeline()
+
+@pytest.fixture(scope="session")
+def small_policy_text() -> str:
+    return SMALL_POLICY
+
+
+@pytest.fixture(scope="session")
+def small_model(pipeline, small_policy_text):
+    return pipeline.process(small_policy_text)
+
+
+@pytest.fixture(scope="session")
+def tiktak_model(pipeline):
+    from repro.corpus import tiktak_policy
+
+    return pipeline.process(tiktak_policy().text)

@@ -1,0 +1,118 @@
+"""Unit tests for scenario-based compliance testing."""
+
+import json
+
+import pytest
+
+from repro.analysis.scenarios import (
+    Expectation,
+    Scenario,
+    load_scenarios,
+    run_scenarios,
+)
+from repro.cli import main
+from repro.errors import ReproError
+
+
+class TestExpectation:
+    def test_parse_valid_values(self):
+        assert Expectation.parse("valid") is Expectation.VALID
+        assert Expectation.parse(" CONDITIONAL ") is Expectation.CONDITIONAL
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ReproError):
+            Expectation.parse("maybe")
+
+
+class TestScenarioLoading:
+    def test_from_dict(self):
+        scenario = Scenario.from_dict(
+            {"question": "Acme collects the name.", "expectation": "valid"}
+        )
+        assert scenario.expectation is Expectation.VALID
+
+    def test_default_expectation_is_any(self):
+        scenario = Scenario.from_dict({"question": "whatever"})
+        assert scenario.expectation is Expectation.ANY
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "suite.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"question": "Acme collects the name.", "expectation": "valid"},
+                    {"question": "Acme sells the name.", "expectation": "invalid"},
+                ]
+            )
+        )
+        scenarios = load_scenarios(path)
+        assert len(scenarios) == 2
+
+    def test_non_list_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ReproError):
+            load_scenarios(path)
+
+
+class TestRunScenarios:
+    def _suite(self):
+        return [
+            Scenario("Acme collects the name.", Expectation.VALID),
+            Scenario(
+                "Acme shares the location information with advertisers.",
+                Expectation.CONDITIONAL,
+            ),
+            Scenario(
+                "Acme sells contact information to third parties.",
+                Expectation.INVALID,
+            ),
+            Scenario("Acme collects the email address.", Expectation.ANY),
+        ]
+
+    def test_all_pass_on_compliant_policy(self, pipeline, small_model):
+        report = run_scenarios(pipeline, small_model, self._suite())
+        assert report.all_passed, report.render()
+        assert report.passed == report.total == 4
+
+    def test_wrong_expectation_fails(self, pipeline, small_model):
+        suite = [Scenario("Acme collects the name.", Expectation.INVALID)]
+        report = run_scenarios(pipeline, small_model, suite)
+        assert not report.all_passed
+        assert report.failed[0].detail
+
+    def test_conditional_expectation_rejects_unconditional(self, pipeline, small_model):
+        suite = [Scenario("Acme collects the name.", Expectation.CONDITIONAL)]
+        report = run_scenarios(pipeline, small_model, suite)
+        assert not report.all_passed
+
+    def test_render_marks_pass_fail(self, pipeline, small_model):
+        suite = [
+            Scenario("Acme collects the name.", Expectation.VALID),
+            Scenario("Acme collects the name.", Expectation.INVALID),
+        ]
+        text = run_scenarios(pipeline, small_model, suite).render()
+        assert "[PASS]" in text and "[FAIL]" in text
+        assert text.startswith("scenario suite: 1/2 passed")
+
+
+class TestScenariosCLI:
+    def test_cli_exit_codes(self, tmp_path, small_policy_text, capsys):
+        policy = tmp_path / "policy.txt"
+        policy.write_text(small_policy_text, "utf-8")
+        suite = tmp_path / "suite.json"
+        suite.write_text(
+            json.dumps(
+                [{"question": "Acme collects the name.", "expectation": "valid"}]
+            )
+        )
+        assert main(["scenarios", str(policy), str(suite)]) == 0
+        assert "1/1 passed" in capsys.readouterr().out
+
+        failing = tmp_path / "failing.json"
+        failing.write_text(
+            json.dumps(
+                [{"question": "Acme collects the name.", "expectation": "invalid"}]
+            )
+        )
+        assert main(["scenarios", str(policy), str(failing)]) == 1

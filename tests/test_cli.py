@@ -1,0 +1,97 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def policy_file(tmp_path, small_policy_text):
+    path = tmp_path / "policy.txt"
+    path.write_text(small_policy_text, "utf-8")
+    return str(path)
+
+
+class TestProcess:
+    def test_prints_statistics(self, policy_file, capsys):
+        assert main(["process", policy_file]) == 0
+        out = capsys.readouterr().out
+        assert "company: Acme" in out
+        assert "total_edges:" in out
+        assert "llm calls:" in out
+
+    def test_artifacts_written(self, policy_file, tmp_path, capsys):
+        artifacts = tmp_path / "artifacts"
+        assert main(["process", policy_file, "--artifacts", str(artifacts)]) == 0
+        assert (artifacts / "practices.json").exists()
+        practices = json.loads((artifacts / "practices.json").read_text())
+        assert practices
+
+    def test_missing_file_exit_code(self, capsys):
+        assert main(["process", "/nonexistent/policy.txt"]) == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_file_rejected(self, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("   \n", "utf-8")
+        assert main(["process", str(empty)]) == 3
+
+
+class TestQuery:
+    def test_valid_query_exit_zero(self, policy_file, capsys):
+        code = main(["query", policy_file, "Acme collects the name."])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict: VALID" in out
+
+    def test_invalid_query_exit_one(self, policy_file, capsys):
+        code = main(
+            ["query", policy_file, "Acme sells contact information to third parties."]
+        )
+        assert code == 1
+        assert "verdict: INVALID" in capsys.readouterr().out
+
+    def test_smtlib_flag_dumps_script(self, policy_file, capsys):
+        main(["query", policy_file, "Acme collects the name.", "--smtlib"])
+        out = capsys.readouterr().out
+        assert "(check-sat)" in out
+        assert "(set-logic UF)" in out
+
+
+class TestAudit:
+    def test_audit_reports(self, policy_file, capsys):
+        main(["audit", policy_file])
+        out = capsys.readouterr().out
+        assert "apparent contradictions:" in out
+        assert "coverage report:" in out
+
+
+class TestDiff:
+    def test_identical_versions_exit_zero(self, policy_file, capsys):
+        assert main(["diff", policy_file, policy_file]) == 0
+        assert "policy diff:" in capsys.readouterr().out
+
+    def test_changed_version_exit_one(self, policy_file, tmp_path, small_policy_text, capsys):
+        new = tmp_path / "v2.txt"
+        new.write_text(small_policy_text + "\nWe collect your shoe size.\n", "utf-8")
+        assert main(["diff", policy_file, str(new)]) == 1
+        out = capsys.readouterr().out
+        assert "shoe size" in out
+
+
+class TestCorpus:
+    def test_corpus_to_stdout(self, capsys):
+        assert main(["corpus", "tiktak"]) == 0
+        out = capsys.readouterr().out
+        assert "TikTak Privacy Policy" in out
+
+    def test_corpus_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "policy.txt"
+        assert main(["corpus", "meditrack", "--out", str(out_path)]) == 0
+        assert "MediTrack" in out_path.read_text("utf-8")
+
+    def test_unknown_corpus_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["corpus", "bogus"])

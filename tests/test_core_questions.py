@@ -1,0 +1,81 @@
+"""Unit tests for interrogative query normalization."""
+
+import pytest
+
+from repro import Verdict
+from repro.core.questions import is_question, normalize_question
+
+
+class TestIsQuestion:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Does TikTak share my email with advertisers?",
+            "Can advertisers receive my location",
+            "Is TikTak sharing my data?",
+            "Who receives my email?",
+            "do you sell my data?",
+        ],
+    )
+    def test_questions(self, text):
+        assert is_question(text)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "TikTak collects my email.",
+            "The user provides the phone number.",
+        ],
+    )
+    def test_declaratives(self, text):
+        assert not is_question(text)
+
+
+class TestNormalizeQuestion:
+    @pytest.mark.parametrize(
+        "question,expected",
+        [
+            (
+                "Does TikTak share my email with advertisers?",
+                "TikTak shares the email with advertisers.",
+            ),
+            ("Does TikTak collect my location?", "TikTak collects the location."),
+            ("Can advertisers receive my phone number?", "Advertisers receives the phone number."),
+            ("Is TikTak sharing my data?", "TikTak shares the data."),
+            ("Who receives my email?", "Someone receives the email."),
+            ("Do you sell my data?", "You sells the data."),
+        ],
+    )
+    def test_rewrites(self, question, expected):
+        assert normalize_question(question) == expected
+
+    def test_declarative_passthrough_normalizes_possessives(self):
+        assert (
+            normalize_question("TikTak collects my email.")
+            == "TikTak collects the email."
+        )
+
+    def test_verb_inflection_rules(self):
+        assert "processes" in normalize_question("Does Acme process my data?")
+        assert "notifies" in normalize_question("Does Acme notify my contacts?")
+
+
+class TestEndToEndQuestions:
+    def test_question_query_matches_declarative(self, pipeline, small_model):
+        declarative = pipeline.query(small_model, "Acme collects the name.")
+        interrogative = pipeline.query(small_model, "Does Acme collect my name?")
+        assert interrogative.verdict is declarative.verdict is Verdict.VALID
+
+    def test_conditional_question(self, pipeline, small_model):
+        outcome = pipeline.query(
+            small_model, "Does Acme share my location information with advertisers?"
+        )
+        assert outcome.verdict is Verdict.INVALID
+        assert outcome.verification.conditionally_valid is True
+
+    def test_who_question(self, pipeline, small_model):
+        outcome = pipeline.query(small_model, "Who receives my usage information?")
+        # "Someone" becomes an existential query; analytics providers do
+        # receive usage information (conditionally).
+        assert outcome.verdict in (Verdict.VALID, Verdict.INVALID)
+        assert outcome.subgraph.num_edges > 0

@@ -1,0 +1,149 @@
+"""Unit tests for the policy corpus: generator, bundled policies, taxonomy."""
+
+import pytest
+
+from repro.corpus import (
+    METABOOK_SHOWCASE,
+    OPP115_CATEGORIES,
+    OPP115_DATA_TYPES,
+    POLICY_QUERIES,
+    TIKTAK_SHOWCASE,
+    GeneratorProfile,
+    PolicyGenerator,
+    metabook_policy,
+    tiktak_policy,
+)
+from repro.corpus.opp115 import match_categories
+from repro.errors import CorpusError
+
+
+class TestGenerator:
+    def _profile(self, seed=1):
+        return GeneratorProfile(company="Acme", platform="Acme", seed=seed)
+
+    def test_deterministic_per_seed(self):
+        a = PolicyGenerator(self._profile()).generate(2000)
+        b = PolicyGenerator(self._profile()).generate(2000)
+        assert a.text == b.text
+
+    def test_different_seeds_differ(self):
+        a = PolicyGenerator(self._profile(1)).generate(2000)
+        b = PolicyGenerator(self._profile(2)).generate(2000)
+        assert a.text != b.text
+
+    def test_word_count_near_target(self):
+        doc = PolicyGenerator(self._profile()).generate(5000)
+        assert 0.7 * 5000 <= doc.word_count <= 1.4 * 5000
+
+    def test_minimum_target_enforced(self):
+        with pytest.raises(CorpusError):
+            PolicyGenerator(self._profile()).generate(100)
+
+    def test_no_duplicate_sentences(self):
+        doc = PolicyGenerator(self._profile()).generate(4000)
+        from repro.nlp.tokenizer import sentences
+
+        seen = [s for s in sentences(doc.text) if len(s.split()) > 4]
+        # Generated practice sentences are unique; boilerplate may repeat.
+        generated = [s for s in seen if s.startswith("We ")]
+        assert len(generated) == len(set(generated))
+
+    def test_company_name_in_text(self):
+        doc = PolicyGenerator(self._profile()).generate(1000)
+        assert "Acme Privacy Policy" in doc.text
+
+    def test_exception_pairs_recorded_and_present(self):
+        doc = PolicyGenerator(self._profile()).generate(3000)
+        assert doc.exception_pairs
+        for pair in doc.exception_pairs:
+            assert pair.general_rule in doc.text
+            assert pair.exception in doc.text
+
+    def test_incoherent_fraction_respected(self):
+        profile = GeneratorProfile(
+            company="Acme",
+            platform="Acme",
+            exception_pairs=10,
+            incoherent_exception_fraction=0.2,
+        )
+        doc = PolicyGenerator(profile).generate(3000)
+        incoherent = [p for p in doc.exception_pairs if not p.coherent]
+        assert len(incoherent) == 2
+        for pair in incoherent:
+            assert "with third parties" in pair.exception
+
+    def test_coherent_pairs_have_conditions(self):
+        doc = PolicyGenerator(self._profile()).generate(3000)
+        for pair in doc.exception_pairs:
+            if pair.coherent:
+                assert pair.exception != pair.general_rule
+                # Carve-out carries a scoping phrase.
+                assert len(pair.exception.split()) > 7
+
+    def test_showcase_statements_embedded(self):
+        profile = GeneratorProfile(
+            company="Acme",
+            platform="Acme",
+            showcase_statements=("Acme collects your shoe size.",),
+        )
+        doc = PolicyGenerator(profile).generate(1000)
+        assert "Acme collects your shoe size." in doc.text
+
+    def test_sections_present(self):
+        doc = PolicyGenerator(self._profile()).generate(3000)
+        assert "Information You Provide" in doc.sections
+        assert "How We Share Your Information" in doc.sections
+
+
+class TestBundledPolicies:
+    def test_tiktak_scale(self):
+        doc = tiktak_policy()
+        assert 13_000 <= doc.word_count <= 18_000  # "approximately 15,000 words"
+
+    def test_metabook_scale(self):
+        doc = metabook_policy()
+        assert doc.word_count >= 40_000  # "over 40,000 words"
+
+    def test_bundled_policies_cached(self):
+        assert tiktak_policy() is tiktak_policy()
+
+    def test_showcase_embedded_in_documents(self):
+        tk = tiktak_policy()
+        for statement, _n in TIKTAK_SHOWCASE:
+            assert statement in tk.text
+        mb = metabook_policy()
+        for statement, _n in METABOOK_SHOWCASE:
+            assert statement in mb.text
+
+    def test_companies_named(self):
+        assert tiktak_policy().company == "TikTak"
+        assert metabook_policy().company == "MetaBook"
+
+
+class TestOPP115:
+    def test_ten_categories(self):
+        assert len(OPP115_CATEGORIES) == 10
+
+    def test_match_contact(self):
+        assert "Contact" in match_categories("We collect your email address.")
+
+    def test_match_location(self):
+        assert "Location" in match_categories("We use gps location for maps.")
+
+    def test_no_match(self):
+        assert match_categories("This sentence is about nothing.") == []
+
+    def test_signals_lowercase(self):
+        for signals in OPP115_DATA_TYPES.values():
+            for s in signals:
+                assert s == s.lower()
+
+
+class TestQueries:
+    def test_queries_reference_known_policies(self):
+        for q in POLICY_QUERIES:
+            assert q.policy in {"tiktak", "metabook"}
+
+    def test_expectations_are_known_classes(self):
+        for q in POLICY_QUERIES:
+            assert q.expectation in {"valid", "invalid", "conditional", "any"}

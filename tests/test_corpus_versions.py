@@ -1,0 +1,75 @@
+"""Tests for the policy-version mutation generator."""
+
+import pytest
+
+from repro.corpus.generator import GeneratorProfile, PolicyGenerator
+from repro.corpus.versions import make_version
+from repro.errors import CorpusError
+
+
+@pytest.fixture(scope="module")
+def base_policy():
+    profile = GeneratorProfile(company="VerCo", platform="VerCo", seed=31)
+    return PolicyGenerator(profile).generate(3000)
+
+
+class TestMakeVersion:
+    def test_deterministic(self, base_policy):
+        a = make_version(base_policy.text, seed=1)
+        b = make_version(base_policy.text, seed=1)
+        assert a.text == b.text
+        assert a.edits == b.edits
+
+    def test_edit_counts(self, base_policy):
+        version = make_version(base_policy.text, seed=2, add=3, remove=2, recondition=1)
+        kinds = [e.kind for e in version.edits]
+        assert kinds.count("add") == 3
+        assert kinds.count("remove") == 2
+        assert kinds.count("recondition") == 1
+
+    def test_removed_sentences_gone(self, base_policy):
+        version = make_version(base_policy.text, seed=3, add=0, remove=3, recondition=0)
+        for edit in version.edits:
+            assert edit.sentence not in version.text
+
+    def test_added_sentences_present(self, base_policy):
+        version = make_version(base_policy.text, seed=4, add=3, remove=0, recondition=0)
+        for edit in version.edits:
+            assert edit.sentence in version.text
+
+    def test_reconditioned_sentences_replaced(self, base_policy):
+        version = make_version(base_policy.text, seed=5, add=0, remove=0, recondition=3)
+        for edit in version.edits:
+            assert edit.sentence not in version.text
+            assert edit.revised in version.text
+
+    def test_too_many_edits_rejected(self):
+        with pytest.raises(CorpusError):
+            make_version("We collect data.", remove=10, recondition=10)
+
+
+class TestVersionDiffIntegration:
+    def test_diff_recovers_edits(self, pipeline, base_policy):
+        from repro.analysis import diff_policies
+        from repro.core.extraction import extract_policy
+
+        version = make_version(base_policy.text, seed=7, add=2, remove=2, recondition=2)
+        old = extract_policy(pipeline.runner, base_policy.text, company="VerCo")
+        new = extract_policy(pipeline.runner, version.text, company="VerCo")
+        diff = diff_policies(old, new)
+
+        # Every textual edit shows up at segment level: 2 adds + 2 removes +
+        # 2 recondition (remove+add pairs).
+        assert len(diff.segments.added) == 4
+        assert len(diff.segments.removed) == 4
+        # Practice-level effects: new disclosures appear, removed ones go.
+        assert diff.added_practices
+        assert diff.removed_practices
+
+    def test_incremental_update_cost_matches_edits(self, pipeline, base_policy):
+        version = make_version(base_policy.text, seed=8, add=2, remove=1, recondition=1)
+        model = pipeline.process(base_policy.text)
+        _new_model, stats = pipeline.update(model, version.text)
+        # add(2) + recondition(1 new form) = 3 re-extracted segments.
+        assert stats.segments_reextracted == 3
+        assert stats.segments_removed == 2  # removed(1) + recondition old form

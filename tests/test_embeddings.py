@@ -1,0 +1,143 @@
+"""Unit tests for the embedding substrate."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import (
+    EmbeddingModel,
+    EmbeddingStore,
+    cosine_similarity,
+    edge_text,
+    top_k,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EmbeddingModel()
+
+
+class TestEmbeddingModel:
+    def test_deterministic_across_instances(self):
+        a = EmbeddingModel().embed("email address")
+        b = EmbeddingModel().embed("email address")
+        assert np.allclose(a, b)
+
+    def test_unit_norm(self, model):
+        vec = model.embed("location information")
+        assert np.isclose(np.linalg.norm(vec), 1.0)
+
+    def test_empty_text_is_zero_vector(self, model):
+        assert np.allclose(model.embed(""), 0.0)
+
+    def test_shared_word_increases_similarity(self, model):
+        related = model.similarity("email address", "email")
+        unrelated = model.similarity("email address", "gps coordinates")
+        assert related > unrelated
+
+    def test_morphological_variants_close(self, model):
+        assert model.similarity("cookies", "cookie") > 0.7
+
+    def test_phrase_extension_close(self, model):
+        assert model.similarity("location", "location information") > 0.5
+
+    def test_self_similarity_is_one(self, model):
+        assert np.isclose(model.similarity("data", "data"), 1.0)
+
+    def test_case_insensitive(self, model):
+        assert np.isclose(model.similarity("Email", "email"), 1.0)
+
+    def test_different_model_names_differ(self):
+        a = EmbeddingModel(name="model-a").embed("email")
+        b = EmbeddingModel(name="model-b").embed("email")
+        assert not np.allclose(a, b)
+
+    def test_embed_many_shape(self, model):
+        matrix = model.embed_many(["a", "b", "c"])
+        assert matrix.shape == (3, model.dim)
+
+    def test_embed_many_empty(self, model):
+        assert model.embed_many([]).shape == (0, model.dim)
+
+
+class TestCosineSimilarity:
+    def test_orthogonal(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 0.0
+
+    def test_zero_vector_yields_zero(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_identical(self):
+        v = np.array([0.3, 0.4])
+        assert np.isclose(cosine_similarity(v, v), 1.0)
+
+
+class TestEmbeddingStore:
+    def test_add_and_contains(self, model):
+        store = EmbeddingStore(model)
+        store.add("email")
+        assert "email" in store
+        assert len(store) == 1
+
+    def test_add_idempotent(self, model):
+        store = EmbeddingStore(model)
+        store.add("email")
+        store.add("email")
+        assert len(store) == 1
+
+    def test_get_embeds_on_demand(self, model):
+        store = EmbeddingStore(model)
+        vec = store.get("new term")
+        assert "new term" in store
+        assert np.isclose(np.linalg.norm(vec), 1.0)
+
+    def test_matrix_rows_match_keys(self, model):
+        store = EmbeddingStore(model)
+        store.add_many(["a", "b"])
+        matrix = store.matrix()
+        assert matrix.shape[0] == 2
+        assert np.allclose(matrix[0], store.get("a"))
+
+    def test_save_load_round_trip(self, model, tmp_path):
+        store = EmbeddingStore(model)
+        store.add_many(["email", "phone number"])
+        path = tmp_path / "store.npz"
+        store.save(path)
+        loaded = EmbeddingStore.load(path)
+        assert loaded.keys == store.keys
+        assert np.allclose(loaded.matrix(), store.matrix())
+
+
+class TestTopK:
+    def test_exact_match_ranks_first(self, model):
+        store = EmbeddingStore(model)
+        store.add_many(["email", "phone number", "location"])
+        hits = top_k(store, "email", k=3)
+        assert hits[0].key == "email"
+        assert np.isclose(hits[0].score, 1.0)
+
+    def test_k_limits_results(self, model):
+        store = EmbeddingStore(model)
+        store.add_many([f"term {i}" for i in range(20)])
+        assert len(top_k(store, "term 1", k=5)) == 5
+
+    def test_min_score_filters(self, model):
+        store = EmbeddingStore(model)
+        store.add_many(["email", "zebra crossing"])
+        hits = top_k(store, "email", k=10, min_score=0.9)
+        assert [h.key for h in hits] == ["email"]
+
+    def test_empty_store(self, model):
+        assert top_k(EmbeddingStore(model), "email") == []
+
+    def test_scores_descending(self, model):
+        store = EmbeddingStore(model)
+        store.add_many(["email address", "email", "phone number", "gps location"])
+        hits = top_k(store, "email", k=4)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestEdgeText:
+    def test_format(self):
+        assert edge_text("user", "provide", "email") == "user provide email"

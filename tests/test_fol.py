@@ -1,0 +1,246 @@
+"""Unit tests for the FOL AST, builders, visitors, printer, and simplifier."""
+
+import pytest
+
+from repro.errors import SortMismatchError
+from repro.fol import (
+    DATA,
+    ENTITY,
+    And,
+    Constant,
+    Exists,
+    FalseFormula,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    PredicateSymbol,
+    TrueFormula,
+    Variable,
+    collect_constants,
+    collect_predicates,
+    collect_uninterpreted,
+    conjoin,
+    disjoin,
+    exists,
+    forall,
+    free_variables,
+    implies,
+    negate,
+    pred,
+    pretty,
+    simplify,
+    substitute,
+    to_nnf,
+    uninterpreted,
+)
+from repro.fol.formula import FALSE, TRUE
+from repro.fol.terms import Application, FunctionSymbol, mangle
+
+E1 = Constant("tiktak", ENTITY)
+E2 = Constant("advertisers", ENTITY)
+D1 = Constant("email", DATA)
+X = Variable("x", ENTITY)
+SHARE = PredicateSymbol("share", (ENTITY, DATA))
+CONSENT = PredicateSymbol("user_consent", (), uninterpreted=True, source_text="with your consent")
+
+
+class TestTermsAndSorts:
+    def test_predicate_arity_checked(self):
+        with pytest.raises(SortMismatchError):
+            SHARE(E1)
+
+    def test_predicate_sort_checked(self):
+        with pytest.raises(SortMismatchError):
+            SHARE(D1, D1)
+
+    def test_function_application_sort(self):
+        f = FunctionSymbol("owner_of", (DATA,), ENTITY)
+        app = f(D1)
+        assert app.sort == ENTITY
+
+    def test_function_arity_checked(self):
+        f = FunctionSymbol("owner_of", (DATA,), ENTITY)
+        with pytest.raises(SortMismatchError):
+            Application(f, (D1, D1))
+
+    def test_mangle(self):
+        assert mangle("email address") == "email_address"
+        assert mangle("Meta's data!") == "meta_s_data"
+        assert mangle("123abc")[0] != "1"
+        assert mangle("") == "anon"
+
+
+class TestBuilders:
+    def test_conjoin_drops_true(self):
+        assert conjoin([TRUE, SHARE(E1, D1)]) == SHARE(E1, D1)
+
+    def test_conjoin_false_dominates(self):
+        assert conjoin([SHARE(E1, D1), FALSE]) == FALSE
+
+    def test_conjoin_empty_is_true(self):
+        assert isinstance(conjoin([]), TrueFormula)
+
+    def test_disjoin_drops_false(self):
+        assert disjoin([FALSE, SHARE(E1, D1)]) == SHARE(E1, D1)
+
+    def test_disjoin_true_dominates(self):
+        assert isinstance(disjoin([SHARE(E1, D1), TRUE]), TrueFormula)
+
+    def test_disjoin_empty_is_false(self):
+        assert isinstance(disjoin([]), FalseFormula)
+
+    def test_negate_double_negation(self):
+        atom = SHARE(E1, D1)
+        assert negate(negate(atom)) == atom
+
+    def test_forall_multiple_vars(self):
+        y = Variable("y", DATA)
+        formula = forall([X, y], pred("p", X, y))
+        assert isinstance(formula, Forall)
+        assert isinstance(formula.body, Forall)
+
+    def test_exists_single(self):
+        formula = exists(X, SHARE(X, D1))
+        assert isinstance(formula, Exists)
+
+    def test_uninterpreted_carries_source(self):
+        atom = uninterpreted("legitimate business purposes")
+        assert atom.symbol.uninterpreted
+        assert atom.symbol.source_text == "legitimate business purposes"
+        assert atom.symbol.name == "legitimate_business_purposes"
+
+    def test_operator_overloads(self):
+        a, b = SHARE(E1, D1), SHARE(E2, D1)
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+        assert isinstance(~a, Not)
+
+
+class TestVisitors:
+    def test_collect_predicates(self):
+        formula = implies(SHARE(E1, D1), CONSENT())
+        names = {s.name for s in collect_predicates(formula)}
+        assert names == {"share", "user_consent"}
+
+    def test_collect_uninterpreted(self):
+        formula = implies(SHARE(E1, D1), CONSENT())
+        assert {s.name for s in collect_uninterpreted(formula)} == {"user_consent"}
+
+    def test_collect_constants(self):
+        formula = And((SHARE(E1, D1), SHARE(E2, D1)))
+        assert collect_constants(formula) == {E1, E2, D1}
+
+    def test_free_variables(self):
+        formula = SHARE(X, D1)
+        assert free_variables(formula) == {X}
+
+    def test_bound_variables_not_free(self):
+        formula = forall(X, SHARE(X, D1))
+        assert free_variables(formula) == set()
+
+    def test_substitute_ground_term(self):
+        formula = SHARE(X, D1)
+        ground = substitute(formula, {X: E1})
+        assert ground == SHARE(E1, D1)
+
+    def test_substitute_respects_shadowing(self):
+        inner = forall(X, SHARE(X, D1))
+        result = substitute(inner, {X: E1})
+        assert result == inner
+
+
+class TestSimplify:
+    def test_flattens_nested_and(self):
+        formula = And((And((SHARE(E1, D1), SHARE(E2, D1))), CONSENT()))
+        simplified = simplify(formula)
+        assert isinstance(simplified, And)
+        assert len(simplified.operands) == 3
+
+    def test_removes_duplicates(self):
+        formula = And((SHARE(E1, D1), SHARE(E1, D1)))
+        assert simplify(formula) == SHARE(E1, D1)
+
+    def test_true_absorbed_in_and(self):
+        assert simplify(And((TRUE, SHARE(E1, D1)))) == SHARE(E1, D1)
+
+    def test_false_dominates_and(self):
+        assert isinstance(simplify(And((FALSE, SHARE(E1, D1)))), FalseFormula)
+
+    def test_implies_true_antecedent(self):
+        assert simplify(Implies(TRUE, SHARE(E1, D1))) == SHARE(E1, D1)
+
+    def test_implies_false_antecedent(self):
+        assert isinstance(simplify(Implies(FALSE, SHARE(E1, D1))), TrueFormula)
+
+    def test_double_negation(self):
+        assert simplify(Not(Not(SHARE(E1, D1)))) == SHARE(E1, D1)
+
+    def test_iff_identical_sides(self):
+        assert isinstance(simplify(Iff(SHARE(E1, D1), SHARE(E1, D1))), TrueFormula)
+
+    def test_quantifier_over_constant_body(self):
+        assert isinstance(simplify(Forall(X, TRUE)), TrueFormula)
+
+
+class TestNNF:
+    def test_negated_and_becomes_or(self):
+        formula = Not(And((SHARE(E1, D1), SHARE(E2, D1))))
+        nnf = to_nnf(formula)
+        assert isinstance(nnf, Or)
+
+    def test_negated_implies(self):
+        formula = Not(Implies(SHARE(E1, D1), CONSENT()))
+        nnf = to_nnf(formula)
+        assert isinstance(nnf, And)
+
+    def test_negated_forall_becomes_exists(self):
+        formula = Not(forall(X, SHARE(X, D1)))
+        nnf = to_nnf(formula)
+        assert isinstance(nnf, Exists)
+        assert isinstance(nnf.body, Not)
+
+    def test_negations_only_on_atoms(self):
+        formula = Not(Or((And((SHARE(E1, D1), CONSENT())), SHARE(E2, D1))))
+        nnf = to_nnf(formula)
+
+        def check(node):
+            if isinstance(node, Not):
+                from repro.fol.formula import Predicate
+
+                assert isinstance(node.operand, Predicate)
+            for attr in ("operands",):
+                for child in getattr(node, attr, ()):
+                    check(child)
+            for attr in ("antecedent", "consequent", "body", "operand", "left", "right"):
+                child = getattr(node, attr, None)
+                if child is not None and not isinstance(child, Variable):
+                    check(child)
+
+        check(nnf)
+
+
+class TestPrinter:
+    def test_atom(self):
+        assert pretty(SHARE(E1, D1)) == "share(tiktak, email)"
+
+    def test_uninterpreted_marked(self):
+        assert pretty(CONSENT()) == "user_consent?"
+
+    def test_implication_arrow(self):
+        text = pretty(implies(SHARE(E1, D1), CONSENT()))
+        assert "→" in text
+
+    def test_ascii_mode(self):
+        text = pretty(implies(SHARE(E1, D1), CONSENT()), unicode_symbols=False)
+        assert "->" in text
+
+    def test_quantifier_rendered(self):
+        text = pretty(forall(X, SHARE(X, D1)))
+        assert text.startswith("∀x:Entity.")
+
+    def test_precedence_parentheses(self):
+        a, b, c = SHARE(E1, D1), SHARE(E2, D1), CONSENT()
+        text = pretty(Or((And((a, b)), c)))
+        assert "∧" in text and "∨" in text

@@ -1,0 +1,62 @@
+"""Unit tests for relevance pruning (the paper's future-work optimisation)."""
+
+from repro.fol import (
+    DATA,
+    ENTITY,
+    And,
+    Constant,
+    PredicateSymbol,
+    implies,
+    negate,
+)
+from repro.fol.simplify import prune_irrelevant, simplify
+from repro.solver import Solver
+
+E1 = Constant("acme", ENTITY)
+D1 = Constant("email", DATA)
+D2 = Constant("logs", DATA)
+SHARE = PredicateSymbol("share", (ENTITY, DATA))
+RETAIN = PredicateSymbol("retain", (ENTITY, DATA))
+CONSENT = PredicateSymbol("consent", (), uninterpreted=True)
+
+
+class TestPruneIrrelevant:
+    def test_unrelated_conjuncts_dropped(self):
+        whole = And((SHARE(E1, D1), RETAIN(E1, D2)))
+        pruned = prune_irrelevant(whole, {"share"})
+        assert pruned == SHARE(E1, D1)
+
+    def test_shared_predicate_kept(self):
+        whole = And((implies(CONSENT(), SHARE(E1, D1)), RETAIN(E1, D2)))
+        pruned = prune_irrelevant(whole, {"share"})
+        assert "retain" not in {
+            s.name for s in __import__("repro.fol.visitor", fromlist=["x"]).collect_predicates(pruned)
+        }
+
+    def test_non_conjunction_passthrough(self):
+        formula = SHARE(E1, D1)
+        assert prune_irrelevant(formula, {"nothing"}) == simplify(formula)
+
+    def test_all_irrelevant_becomes_true(self):
+        from repro.fol.formula import TrueFormula
+
+        whole = And((RETAIN(E1, D2), RETAIN(E1, D1)))
+        pruned = prune_irrelevant(whole, {"share"})
+        assert isinstance(pruned, TrueFormula)
+
+    def test_pruning_preserves_query_verdict(self):
+        # Entailment about `share` survives dropping retain-only facts.
+        whole = And(
+            (
+                implies(CONSENT(), SHARE(E1, D1)),
+                RETAIN(E1, D2),
+                CONSENT(),
+            )
+        )
+        pruned = prune_irrelevant(whole, {"share", "consent"})
+
+        for formula in (whole, pruned):
+            solver = Solver()
+            solver.assert_formula(formula)
+            solver.assert_formula(negate(SHARE(E1, D1)))
+            assert solver.check_sat().is_unsat

@@ -1,0 +1,125 @@
+"""Unit tests for prompt templates, the client protocol, and caching."""
+
+import json
+
+import pytest
+
+from repro.errors import PromptError
+from repro.llm import prompts
+from repro.llm.client import CachedLLM, LLMClient, UsageStats, prompt_fingerprint
+from repro.llm.simulated import SimulatedLLM
+
+
+class TestPromptRendering:
+    def test_task_header_round_trip(self):
+        prompt = prompts.render_extract_company_name("Acme Privacy Policy")
+        assert prompts.task_name(prompt) == "extract_company_name"
+
+    def test_payload_round_trip(self):
+        prompt = prompts.render_extract_parameters("We collect data.", "Acme")
+        assert prompts.extract_payload(prompt, "STATEMENT") == "We collect data."
+
+    def test_company_window_truncated_to_1000_chars(self):
+        prompt = prompts.render_extract_company_name("x" * 5000)
+        payload = prompts.extract_payload(prompt, "TEXT")
+        assert len(payload) == 1000
+
+    def test_missing_payload_raises(self):
+        with pytest.raises(PromptError):
+            prompts.extract_payload("no payload here", "TEXT")
+
+    def test_missing_header_raises(self):
+        with pytest.raises(PromptError):
+            prompts.task_name("just some text")
+
+    def test_taxonomy_prompt_contains_both_payloads(self):
+        prompt = prompts.render_taxonomy_layer("data", ["data"], ["email", "name"])
+        assert prompts.extract_payload(prompt, "EXISTING") == "data"
+        assert prompts.extract_payload(prompt, "REMAINING") == "email\nname"
+
+    def test_equivalence_prompt_payloads(self):
+        prompt = prompts.render_semantic_equivalence("email", "email address")
+        assert prompts.extract_payload(prompt, "TERM_A") == "email"
+        assert prompts.extract_payload(prompt, "TERM_B") == "email address"
+
+    def test_extraction_prompt_carries_company(self):
+        prompt = prompts.render_extract_parameters("text", "TikTak")
+        assert "TikTak" in prompt
+
+    def test_few_shot_example_present(self):
+        prompt = prompts.render_extract_parameters("text", "X")
+        assert "phone contacts" in prompt  # the worked example
+
+
+class _CountingLLM:
+    """Test double that counts completions."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def complete(self, prompt: str) -> str:
+        self.calls += 1
+        return json.dumps({"echo": prompt_fingerprint(prompt)[:8]})
+
+
+class TestCachedLLM:
+    def test_cache_hit_skips_inner(self):
+        inner = _CountingLLM()
+        cached = CachedLLM(inner)
+        prompt = prompts.render_extract_company_name("Acme Privacy Policy")
+        first = cached.complete(prompt)
+        second = cached.complete(prompt)
+        assert first == second
+        assert inner.calls == 1
+        assert cached.stats.cache_hits == 1
+
+    def test_distinct_prompts_both_computed(self):
+        inner = _CountingLLM()
+        cached = CachedLLM(inner)
+        cached.complete(prompts.render_extract_company_name("A Privacy Policy"))
+        cached.complete(prompts.render_extract_company_name("B Privacy Policy"))
+        assert inner.calls == 2
+
+    def test_usage_stats_recorded_by_task(self):
+        cached = CachedLLM(_CountingLLM())
+        cached.complete(prompts.render_extract_company_name("Acme Privacy Policy"))
+        cached.complete(prompts.render_semantic_equivalence("a", "b"))
+        assert cached.stats.calls == 2
+        assert cached.stats.calls_by_task["extract_company_name"] == 1
+        assert cached.stats.calls_by_task["semantic_equivalence"] == 1
+
+    def test_persistence_round_trip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        inner = _CountingLLM()
+        cached = CachedLLM(inner, cache_path=path)
+        prompt = prompts.render_extract_company_name("Acme Privacy Policy")
+        cached.complete(prompt)
+        cached.flush()
+
+        reloaded = CachedLLM(_CountingLLM(), cache_path=path)
+        reloaded.complete(prompt)
+        assert reloaded.stats.cache_hits == 1
+
+    def test_len_counts_entries(self):
+        cached = CachedLLM(_CountingLLM())
+        assert len(cached) == 0
+        cached.complete(prompts.render_semantic_equivalence("a", "b"))
+        assert len(cached) == 1
+
+    def test_simulated_llm_satisfies_protocol(self):
+        assert isinstance(SimulatedLLM(), LLMClient)
+
+    def test_usage_stats_as_dict(self):
+        stats = UsageStats()
+        stats.record("one two", "three", "task")
+        d = stats.as_dict()
+        assert d["prompt_tokens"] == 2
+        assert d["completion_tokens"] == 1
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert prompt_fingerprint("abc") == prompt_fingerprint("abc")
+
+    def test_distinct(self):
+        assert prompt_fingerprint("abc") != prompt_fingerprint("abd")

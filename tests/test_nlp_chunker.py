@@ -1,0 +1,120 @@
+"""Unit tests for NP chunking and coordination expansion."""
+
+from repro.nlp.chunker import (
+    expand_coordination,
+    is_data_phrase,
+    noun_phrases,
+    split_enumeration,
+    strip_parentheticals,
+)
+
+
+class TestSplitEnumeration:
+    def test_oxford_comma(self):
+        assert split_enumeration("name, age, and email") == ["name", "age", "email"]
+
+    def test_two_items_with_or(self):
+        assert split_enumeration("name or email") == ["name", "email"]
+
+    def test_and_or(self):
+        assert split_enumeration("cookies and/or pixels") == ["cookies", "pixels"]
+
+    def test_single_item(self):
+        assert split_enumeration("email address") == ["email address"]
+
+    def test_trailing_period_stripped(self):
+        assert split_enumeration("name, age.") == ["name", "age"]
+
+
+class TestExpandCoordination:
+    def test_paper_profile_enumeration(self):
+        items = expand_coordination(
+            "name, age, username, password, language, email, phone number, "
+            "social media account information, and profile image"
+        )
+        assert items == [
+            "name",
+            "age",
+            "username",
+            "password",
+            "language",
+            "email",
+            "phone number",
+            "social media account information",
+            "profile image",
+        ]
+
+    def test_such_as_keeps_container_and_exemplars(self):
+        items = expand_coordination(
+            "account information, such as username and password"
+        )
+        assert "account information" in items
+        assert "username" in items
+        assert "password" in items
+
+    def test_singularization_applied(self):
+        items = expand_coordination("names, phone numbers, and email addresses")
+        assert items == ["name", "phone number", "email address"]
+
+    def test_singularize_disabled(self):
+        items = expand_coordination("names and email addresses", singularize=False)
+        assert items == ["names", "email addresses"]
+
+    def test_duplicates_collapsed(self):
+        items = expand_coordination("email, email, and email")
+        assert items == ["email"]
+
+    def test_determiners_stripped(self):
+        items = expand_coordination("the name and an email")
+        assert items == ["name", "email"]
+
+    def test_parentheticals_removed(self):
+        items = expand_coordination("location (approximate or precise) and email")
+        assert "email" in items
+        assert all("(" not in i for i in items)
+
+
+class TestNounPhrases:
+    def test_finds_compound_phrase(self):
+        phrases = noun_phrases("We collect social media account information today")
+        assert any("social media account information" in p for p in phrases)
+
+    def test_of_joining(self):
+        phrases = noun_phrases("the name of contacts")
+        assert "name of contacts" in phrases
+
+    def test_stopwords_break_phrases(self):
+        phrases = noun_phrases("email and password")
+        assert "email" in phrases
+        assert "password" in phrases
+
+    def test_empty_text(self):
+        assert noun_phrases("") == []
+
+
+class TestIsDataPhrase:
+    def test_known_head_noun(self):
+        assert is_data_phrase("email address")
+        assert is_data_phrase("phone number")
+        assert is_data_phrase("social media account information")
+
+    def test_of_phrase_uses_inner_head(self):
+        assert is_data_phrase("name of contacts")
+
+    def test_entity_is_not_data(self):
+        assert not is_data_phrase("advertisers")
+        assert not is_data_phrase("law enforcement")
+
+    def test_plural_head(self):
+        assert is_data_phrase("email addresses")
+
+    def test_empty(self):
+        assert not is_data_phrase("")
+
+
+class TestStripParentheticals:
+    def test_removed(self):
+        assert strip_parentheticals("data (including logs) here") == "data  here"
+
+    def test_no_parens(self):
+        assert strip_parentheticals("plain text") == "plain text"

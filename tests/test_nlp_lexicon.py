@@ -1,0 +1,121 @@
+"""Unit tests for the privacy-domain lexicons."""
+
+import pytest
+
+from repro.nlp.lexicon import (
+    ACTION_VERBS,
+    COLLECTION_VERBS,
+    CONDITION_OPENERS,
+    DATA_HEAD_NOUNS,
+    ENTITY_TERMS,
+    PURPOSE_OPENERS,
+    SHARING_VERBS,
+    USE_VERBS,
+    USER_ACTION_VERBS,
+    VAGUE_TERMS,
+    canonical_vague_predicate,
+    find_vague_terms,
+)
+
+
+class TestVerbCategories:
+    def test_all_categories_in_union(self):
+        for group in (COLLECTION_VERBS, SHARING_VERBS, USE_VERBS, USER_ACTION_VERBS):
+            assert group <= ACTION_VERBS
+
+    def test_core_verbs_present(self):
+        assert "collect" in COLLECTION_VERBS
+        assert "share" in SHARING_VERBS
+        assert "retain" in USE_VERBS
+        assert "upload" in USER_ACTION_VERBS
+
+    def test_verbs_are_base_forms(self):
+        from repro.nlp.morphology import lemmatize_verb
+
+        # Every lexicon verb lemmatizes to itself (they are base forms).
+        exceptions = {"process", "access", "address"}  # -ss endings pass through
+        for verb in ACTION_VERBS:
+            if verb in exceptions:
+                continue
+            assert lemmatize_verb(verb) == verb, verb
+
+
+class TestEntities:
+    def test_multiword_entities_lowercase(self):
+        for entity in ENTITY_TERMS:
+            assert entity == entity.lower()
+
+    def test_common_receivers_present(self):
+        for expected in ("advertisers", "service providers", "law enforcement", "third parties"):
+            assert expected in ENTITY_TERMS
+
+
+class TestConditionOpeners:
+    def test_openers_end_sensibly(self):
+        # Openers are matched as prefixes: all but fixed phrases carry a
+        # trailing space so "if" does not match "iffy".
+        for opener in CONDITION_OPENERS:
+            assert opener == opener.lower()
+
+    def test_core_openers(self):
+        assert "if " in CONDITION_OPENERS
+        assert "unless " in CONDITION_OPENERS
+        assert "as required by " in CONDITION_OPENERS
+
+    def test_purpose_openers_distinct(self):
+        assert not set(PURPOSE_OPENERS) & set(CONDITION_OPENERS)
+
+
+class TestVagueTerms:
+    def test_canonical_names_are_identifiers(self):
+        for name in VAGUE_TERMS.values():
+            assert name.replace("_", "a").isalnum(), name
+            assert name == name.lower()
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("for legitimate business purposes", "legitimate_business_purpose"),
+            ("when required by law", "required_by_law"),
+            ("with your consent", "user_consent"),
+            ("subject to appropriate safeguards", "appropriate_safeguards"),
+        ],
+    )
+    def test_canonical_vague_predicate(self, text, expected):
+        assert canonical_vague_predicate(text) == expected
+
+    def test_longest_match_wins(self):
+        # "legitimate business purposes" contains "business purposes"; the
+        # longer phrase must win.
+        assert (
+            canonical_vague_predicate("for legitimate business purposes only")
+            == "legitimate_business_purpose"
+        )
+
+    def test_no_vague_term(self):
+        assert canonical_vague_predicate("if you enable the feature") is None
+
+    def test_find_vague_terms_multiple(self):
+        found = find_vague_terms(
+            "with your consent or when required by law"
+        )
+        names = {name for _phrase, name in found}
+        assert {"user_consent", "required_by_law"} <= names
+
+    def test_find_vague_terms_subsumed_phrase_dropped(self):
+        found = find_vague_terms("for legitimate business purposes")
+        names = [name for _phrase, name in found]
+        assert names == ["legitimate_business_purpose"]
+
+    def test_find_vague_terms_empty(self):
+        assert find_vague_terms("we collect your email") == []
+
+
+class TestDataHeadNouns:
+    def test_lowercase(self):
+        for noun in DATA_HEAD_NOUNS:
+            assert noun == noun.lower()
+
+    def test_core_nouns(self):
+        for noun in ("information", "data", "email", "address", "location"):
+            assert noun in DATA_HEAD_NOUNS

@@ -1,0 +1,100 @@
+"""Unit tests for verb lemmatization and noun singularization."""
+
+import pytest
+
+from repro.nlp.morphology import (
+    lemmatize_verb,
+    singularize_noun,
+    singularize_phrase,
+)
+
+
+class TestLemmatizeVerb:
+    @pytest.mark.parametrize(
+        "surface,base",
+        [
+            ("collects", "collect"),
+            ("shares", "share"),
+            ("uses", "use"),
+            ("discloses", "disclose"),
+            ("processes", "process"),
+            ("stores", "store"),
+            ("collecting", "collect"),
+            ("sharing", "share"),
+            ("using", "use"),
+            ("storing", "store"),
+            ("logging", "log"),
+            ("collected", "collect"),
+            ("shared", "share"),
+            ("provided", "provide"),
+            ("chose", "choose"),
+            ("gave", "give"),
+            ("made", "make"),
+            ("sold", "sell"),
+            ("kept", "keep"),
+            ("sent", "send"),
+            ("applies", "apply"),
+            ("notified", "notify"),
+        ],
+    )
+    def test_inflections(self, surface, base):
+        assert lemmatize_verb(surface) == base
+
+    def test_base_form_unchanged(self):
+        assert lemmatize_verb("collect") == "collect"
+
+    def test_case_insensitive(self):
+        assert lemmatize_verb("Collects") == "collect"
+
+    def test_short_words_untouched(self):
+        assert lemmatize_verb("is") == "be"
+        assert lemmatize_verb("as") == "as"
+
+
+class TestSingularizeNoun:
+    @pytest.mark.parametrize(
+        "plural,singular",
+        [
+            ("addresses", "address"),
+            ("purposes", "purpose"),
+            ("cookies", "cookie"),
+            ("parties", "party"),
+            ("devices", "device"),
+            ("numbers", "number"),
+            ("emails", "email"),
+            ("children", "child"),
+            ("people", "person"),
+            ("analyses", "analysis"),
+            ("purchases", "purchase"),
+            ("identifiers", "identifier"),
+            ("photos", "photo"),
+        ],
+    )
+    def test_plurals(self, plural, singular):
+        assert singularize_noun(plural) == singular
+
+    @pytest.mark.parametrize(
+        "word", ["data", "information", "media", "analytics", "status", "gps", "news"]
+    )
+    def test_uncountable_and_false_plurals(self, word):
+        assert singularize_noun(word) == word
+
+    def test_singular_unchanged(self):
+        assert singularize_noun("address") == "address"
+
+
+class TestSingularizePhrase:
+    def test_head_noun_singularized(self):
+        assert singularize_phrase("email addresses") == "email address"
+
+    def test_of_phrase_head(self):
+        assert singularize_phrase("phone numbers of contacts") == "phone number of contacts"
+
+    def test_single_word(self):
+        assert singularize_phrase("cookies") == "cookie"
+
+    def test_empty(self):
+        assert singularize_phrase("") == ""
+
+    def test_modifiers_untouched(self):
+        assert singularize_phrase("social media accounts") == "social media account"

@@ -1,0 +1,103 @@
+"""Tests for the in-place incremental model update path."""
+
+import pytest
+
+from repro import PolicyPipeline, Verdict
+from repro.core.hierarchy import Taxonomy, extend_taxonomy
+
+
+class TestExtendTaxonomy:
+    def test_new_terms_placed(self, runner):
+        taxonomy = Taxonomy(root="data")
+        taxonomy.add("personal data", "data")
+        taxonomy.add("email", "personal data")
+        added = extend_taxonomy(runner, taxonomy, ["phone number", "ip address"])
+        assert added == 2
+        assert taxonomy.parent("phone number") == "personal data"
+        assert "ip address" in taxonomy
+
+    def test_existing_terms_untouched(self, runner):
+        taxonomy = Taxonomy(root="data")
+        taxonomy.add("custom category", "data")
+        taxonomy.add("email", "custom category")
+        extend_taxonomy(runner, taxonomy, ["email", "email address"])
+        # "email" keeps its unusual manual placement.
+        assert taxonomy.parent("email") == "custom category"
+        # the new specialization attaches under the existing node.
+        assert taxonomy.parent("email address") == "email"
+
+    def test_unknown_terms_attach_to_root(self, runner):
+        taxonomy = Taxonomy(root="data")
+        extend_taxonomy(runner, taxonomy, ["quizzblat"])
+        assert taxonomy.parent("quizzblat") == "data"
+
+    def test_returns_zero_for_no_new_terms(self, runner):
+        taxonomy = Taxonomy(root="data")
+        taxonomy.add("email", "data")
+        assert extend_taxonomy(runner, taxonomy, ["email"]) == 0
+
+
+class TestInPlaceUpdate:
+    def _fresh(self, pipeline, small_policy_text):
+        return pipeline.process(small_policy_text)
+
+    def test_equivalent_to_rebuild(self, small_policy_text):
+        pipeline = PolicyPipeline()
+        edited = small_policy_text + "\nWe collect your shoe size.\n"
+
+        rebuilt_model, _ = pipeline.update(
+            pipeline.process(small_policy_text), edited
+        )
+        patched_model, _ = pipeline.update(
+            pipeline.process(small_policy_text), edited, in_place=True
+        )
+        assert (
+            patched_model.statistics.total_edges
+            == rebuilt_model.statistics.total_edges
+        )
+        assert set(patched_model.graph.graph.nodes) == set(
+            rebuilt_model.graph.graph.nodes
+        )
+
+    def test_mutates_input_model(self, small_policy_text):
+        pipeline = PolicyPipeline()
+        model = pipeline.process(small_policy_text)
+        edited = small_policy_text + "\nWe collect your shoe size.\n"
+        patched, _stats = pipeline.update(model, edited, in_place=True)
+        assert patched is model
+        assert "shoe size" in model.graph.graph
+
+    def test_removed_segment_edges_dropped(self, small_policy_text):
+        pipeline = PolicyPipeline()
+        model = pipeline.process(small_policy_text)
+        assert "message content" in model.graph.graph
+        shortened = small_policy_text.replace(
+            "If you contact customer support, we collect your message content. ", ""
+        ).replace("We delete your message content after 90 days.", "")
+        pipeline.update(model, shortened, in_place=True)
+        assert "message content" not in model.graph.graph
+
+    def test_new_vocabulary_enters_taxonomy_and_store(self, small_policy_text):
+        pipeline = PolicyPipeline()
+        model = pipeline.process(small_policy_text)
+        edited = small_policy_text + "\nWe collect your blood pressure readings.\n"
+        pipeline.update(model, edited, in_place=True)
+        assert "blood pressure reading" in model.data_taxonomy
+        assert "blood pressure reading" in model.store
+        assert "blood pressure reading" in model.node_vocabulary
+
+    def test_query_after_in_place_update(self, small_policy_text):
+        pipeline = PolicyPipeline()
+        model = pipeline.process(small_policy_text)
+        edited = small_policy_text + "\nWe collect your shoe size.\n"
+        pipeline.update(model, edited, in_place=True)
+        outcome = pipeline.query(model, "Acme collects the shoe size.")
+        assert outcome.verdict is Verdict.VALID
+
+    def test_noop_in_place_update(self, small_policy_text):
+        pipeline = PolicyPipeline()
+        model = pipeline.process(small_policy_text)
+        edges_before = model.statistics.total_edges
+        _patched, stats = pipeline.update(model, small_policy_text, in_place=True)
+        assert stats.segments_reextracted == 0
+        assert model.statistics.total_edges == edges_before

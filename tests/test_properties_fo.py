@@ -1,0 +1,216 @@
+"""Property tests for the quantified solver path.
+
+Random first-order formulas over a tiny fixed universe are checked two
+ways: by the full solver stack (grounding → Tseitin → CDCL) and by an
+independent brute-force model checker that enumerates every interpretation
+of the predicates over the universe and evaluates the *original* quantified
+formula recursively.  Both must agree on satisfiability; when SAT, the
+solver's model must satisfy the formula under the oracle's semantics.
+
+The SMT-LIB round trip is covered too: serializing each formula to text,
+parsing it back, and solving must give the same verdict.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fol.formula import (
+    And,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Predicate,
+    PredicateSymbol,
+)
+from repro.fol.terms import Constant, Sort, Variable
+from repro.smtlib import compile_validity_script, execute_script
+from repro.smtlib.printer import compile_formula
+from repro.smtlib.script import Assert, CheckSat, SMTScript, SetLogic
+from repro.smtlib.printer import _declarations
+from repro.solver import SatResult, Solver
+
+S = Sort("S")
+CONSTANTS = (Constant("a", S), Constant("b", S))
+P = PredicateSymbol("p", (S,))
+R = PredicateSymbol("r", (S, S))
+VARIABLES = (Variable("x", S), Variable("y", S))
+
+
+def _random_formula(rng: random.Random, bound: list[Variable], depth: int) -> Formula:
+    choices = ["atom"]
+    if depth < 3:
+        choices += ["not", "and", "or", "implies", "forall", "exists"]
+    kind = rng.choice(choices)
+    if kind == "atom":
+        def term():
+            pool = list(CONSTANTS) + bound
+            return rng.choice(pool)
+
+        if rng.random() < 0.5:
+            return P(term())
+        return R(term(), term())
+    if kind == "not":
+        return Not(_random_formula(rng, bound, depth + 1))
+    if kind in ("and", "or"):
+        a = _random_formula(rng, bound, depth + 1)
+        b = _random_formula(rng, bound, depth + 1)
+        return And((a, b)) if kind == "and" else Or((a, b))
+    if kind == "implies":
+        return Implies(
+            _random_formula(rng, bound, depth + 1),
+            _random_formula(rng, bound, depth + 1),
+        )
+    var = VARIABLES[len(bound) % len(VARIABLES)]
+    if var in bound:
+        var = Variable(var.name + "_", S)
+    body = _random_formula(rng, bound + [var], depth + 1)
+    return Forall(var, body) if kind == "forall" else Exists(var, body)
+
+
+Interpretation = tuple[dict[str, bool], dict[tuple[str, str], bool]]
+
+
+def _interpretations():
+    names = [c.name for c in CONSTANTS]
+    unary_keys = names
+    binary_keys = list(itertools.product(names, names))
+    for unary_bits in itertools.product([False, True], repeat=len(unary_keys)):
+        unary = dict(zip(unary_keys, unary_bits))
+        for binary_bits in itertools.product([False, True], repeat=len(binary_keys)):
+            binary = dict(zip(binary_keys, binary_bits))
+            yield unary, binary
+
+
+def _evaluate(formula: Formula, interp: Interpretation, env: dict[str, str]) -> bool:
+    unary, binary = interp
+
+    def term_value(term) -> str:
+        if isinstance(term, Constant):
+            return term.name
+        return env[term.name]
+
+    if isinstance(formula, Predicate):
+        if formula.symbol.name == "p":
+            return unary[term_value(formula.args[0])]
+        return binary[(term_value(formula.args[0]), term_value(formula.args[1]))]
+    if isinstance(formula, Not):
+        return not _evaluate(formula.operand, interp, env)
+    if isinstance(formula, And):
+        return all(_evaluate(op, interp, env) for op in formula.operands)
+    if isinstance(formula, Or):
+        return any(_evaluate(op, interp, env) for op in formula.operands)
+    if isinstance(formula, Implies):
+        return (not _evaluate(formula.antecedent, interp, env)) or _evaluate(
+            formula.consequent, interp, env
+        )
+    if isinstance(formula, Forall):
+        return all(
+            _evaluate(formula.body, interp, {**env, formula.variable.name: c.name})
+            for c in CONSTANTS
+        )
+    if isinstance(formula, Exists):
+        return any(
+            _evaluate(formula.body, interp, {**env, formula.variable.name: c.name})
+            for c in CONSTANTS
+        )
+    raise TypeError(formula)
+
+
+def _oracle_sat(formula: Formula) -> bool:
+    return any(_evaluate(formula, interp, {}) for interp in _interpretations())
+
+
+def _solver_verdict(formula: Formula) -> SatResult:
+    solver = Solver()
+    for const in CONSTANTS:
+        solver.declare_constant(const)
+    solver.assert_formula(formula)
+    return solver.check_sat().status
+
+
+class TestQuantifiedSolverAgainstOracle:
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=150, deadline=None)
+    def test_satisfiability_agrees(self, seed):
+        formula = _random_formula(random.Random(seed), [], 0)
+        expected = _oracle_sat(formula)
+        got = _solver_verdict(formula)
+        assert got is (SatResult.SAT if expected else SatResult.UNSAT)
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=100, deadline=None)
+    def test_model_satisfies_formula(self, seed):
+        formula = _random_formula(random.Random(seed), [], 0)
+        solver = Solver()
+        for const in CONSTANTS:
+            solver.declare_constant(const)
+        solver.assert_formula(formula)
+        result = solver.check_sat()
+        if not result.is_sat:
+            return
+        unary = {c.name: result.model.get(f"p({c.name})", False) for c in CONSTANTS}
+        binary = {
+            (c.name, d.name): result.model.get(f"r({c.name},{d.name})", False)
+            for c in CONSTANTS
+            for d in CONSTANTS
+        }
+        assert _evaluate(formula, (unary, binary), {})
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=80, deadline=None)
+    def test_smtlib_round_trip_agrees(self, seed):
+        formula = _random_formula(random.Random(seed), [], 0)
+        script = SMTScript()
+        script.add(SetLogic("UF"))
+        _declarations([formula], script)
+        # The oracle's universe has exactly a and b; make sure both are
+        # declared even when the formula mentions only one.
+        declared = {
+            c.name
+            for c in script.commands
+            if c.__class__.__name__ == "DeclareConst"
+        }
+        from repro.smtlib.script import DeclareConst, DeclareSort
+
+        if not any(c.__class__.__name__ == "DeclareSort" for c in script.commands):
+            script.add(DeclareSort("S"))
+        for const in CONSTANTS:
+            if const.name not in declared:
+                script.add(DeclareConst(const.name, "S"))
+        script.add(Assert(compile_formula(formula)))
+        script.add(CheckSat())
+        results = execute_script(script.to_text())
+        assert results[0].status is _solver_verdict(formula)
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=60, deadline=None)
+    def test_entailment_script_matches_oracle(self, seed):
+        rng = random.Random(seed)
+        policy = _random_formula(rng, [], 1)
+        query = _random_formula(rng, [], 1)
+        script = compile_validity_script([policy], query)
+        # Ensure both constants exist in the executed universe.
+        from repro.smtlib.script import DeclareConst
+
+        text_lines = script.to_text().splitlines()
+        for const in CONSTANTS:
+            decl = f"(declare-const {const.name} S)"
+            if decl not in text_lines:
+                index = next(
+                    i for i, line in enumerate(text_lines) if line.startswith("(assert")
+                )
+                text_lines.insert(index, decl)
+        results = execute_script("\n".join(text_lines))
+        entailed_oracle = all(
+            not _evaluate(policy, interp, {}) or _evaluate(query, interp, {})
+            for interp in _interpretations()
+        )
+        assert results[0].is_unsat == entailed_oracle

@@ -1,0 +1,158 @@
+"""Property tests for substrate data structures.
+
+Covers invariants the earlier property file does not: coordination
+expansion, the atom pool bijection, the Luby sequence, embedding-store
+consistency, condition-expression parsing, and the question normalizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conditions import atoms_of, parse_condition
+from repro.core.questions import normalize_question
+from repro.embeddings.model import EmbeddingModel
+from repro.embeddings.search import top_k
+from repro.embeddings.store import EmbeddingStore
+from repro.nlp.chunker import expand_coordination, split_enumeration
+from repro.solver.literals import AtomPool
+from repro.solver.sat import luby
+
+_MODEL = EmbeddingModel()
+
+_word = st.text(alphabet="abcdefghijklmnop", min_size=2, max_size=8).filter(
+    lambda w: w not in {"and", "an", "a", "all", "of", "in", "on"}
+)
+_phrase = st.lists(_word, min_size=1, max_size=3).map(" ".join)
+
+
+class TestChunkerProperties:
+    @given(st.lists(_phrase, min_size=1, max_size=6, unique=True))
+    @settings(max_examples=150, deadline=None)
+    def test_expansion_covers_enumeration(self, items):
+        text = ", ".join(items[:-1]) + (", and " if len(items) > 1 else "") + items[-1]
+        expanded = expand_coordination(text, singularize=False)
+        # No separators or empties survive expansion.
+        assert all(expanded)
+        assert all("," not in item for item in expanded)
+        assert all(" and " not in f" {item} " for item in expanded)
+
+    @given(st.lists(_phrase, min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_split_enumeration_partition(self, items):
+        text = ", ".join(items)
+        parts = split_enumeration(text)
+        assert all(p.strip() == p for p in parts)
+        # Re-joining preserves all words (order kept, separators dropped).
+        assert " ".join(parts).split() == [
+            w for item in items for w in item.replace(",", " ").split()
+        ]
+
+    @given(_phrase)
+    @settings(max_examples=100, deadline=None)
+    def test_single_item_round_trip(self, phrase):
+        parts = split_enumeration(phrase)
+        assert len(parts) <= max(1, phrase.count(",") + 1)
+
+
+class TestAtomPoolProperties:
+    @given(st.lists(st.text(min_size=1, max_size=20), min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_bijection(self, keys):
+        pool = AtomPool()
+        variables = [pool.variable_for(k) for k in keys]
+        for key, var in zip(keys, variables):
+            assert pool.variable_for(key) == var
+            assert pool.key_for(var) == key
+        # Distinct keys get distinct variables.
+        assert len({pool.variable_for(k) for k in set(keys)}) == len(set(keys))
+
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=50, deadline=None)
+    def test_fresh_never_collides(self, n):
+        pool = AtomPool()
+        pool.variable_for("real atom")
+        fresh = [pool.fresh() for _ in range(n)]
+        assert len(set(fresh)) == n
+        assert "real atom" in pool.named_atoms()
+        assert len(pool.named_atoms()) == 1
+
+
+class TestLubyProperties:
+    @given(st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=200, deadline=None)
+    def test_values_are_powers_of_two(self, i):
+        value = luby(i)
+        assert value > 0
+        assert value & (value - 1) == 0  # power of two
+
+    def test_known_prefix(self):
+        expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [luby(i) for i in range(1, 16)] == expected
+
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=100, deadline=None)
+    def test_self_similarity(self, i):
+        # The sequence is the previous block repeated, then a new maximum:
+        # luby(2^k - 1) == 2^(k-1), and for i < 2^k - 1,
+        # luby((2^k - 1) + i) == luby(i).
+        k = 1
+        while (1 << (k + 1)) - 1 <= i:
+            k += 1
+        block_end = (1 << k) - 1
+        if i < block_end:
+            assert luby(block_end + i) == luby(i)
+
+
+class TestEmbeddingStoreProperties:
+    @given(st.lists(_phrase, min_size=1, max_size=15, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_matrix_row_alignment(self, phrases):
+        store = EmbeddingStore(_MODEL)
+        store.add_many(phrases)
+        matrix = store.matrix()
+        for i, key in enumerate(store.keys):
+            assert np.allclose(matrix[i], store.get(key))
+
+    @given(st.lists(_phrase, min_size=2, max_size=12, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_stored_key_scores_one_against_itself(self, phrases):
+        # Distinct phrases may still embed identically ("aa" vs "aa aa"
+        # average to the same vector), so the property is about scores, not
+        # strict rank: the query is among the maximal-score hits.
+        store = EmbeddingStore(_MODEL)
+        store.add_many(phrases)
+        query = phrases[0]
+        hits = top_k(store, query, k=len(phrases))
+        assert np.isclose(hits[0].score, 1.0)
+        top_keys = {h.key for h in hits if np.isclose(h.score, hits[0].score)}
+        assert query in top_keys
+
+
+class TestConditionProperties:
+    @given(st.lists(_phrase, min_size=1, max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_atoms_cover_all_disjuncts(self, parts):
+        text = " or ".join(parts)
+        expr = parse_condition(text)
+        assert len(atoms_of(expr)) == len(parts)
+
+    @given(_phrase)
+    @settings(max_examples=100, deadline=None)
+    def test_atom_predicates_are_identifiers(self, text):
+        for atom in atoms_of(parse_condition(text)):
+            assert atom.predicate
+            assert " " not in atom.predicate
+
+
+class TestQuestionProperties:
+    @given(_phrase)
+    @settings(max_examples=100, deadline=None)
+    def test_normalized_output_is_sentence(self, phrase):
+        result = normalize_question(f"Does Acme collect my {phrase}?")
+        assert result.endswith(".")
+        assert result[0].isupper()
+        assert "?" not in result
+        assert "my" not in result.split()

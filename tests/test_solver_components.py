@@ -1,0 +1,264 @@
+"""Unit tests for CNF conversion, EUF, grounding, and the atom pool."""
+
+import pytest
+
+from repro.errors import BudgetExceededError, SolverError
+from repro.fol import (
+    DATA,
+    ENTITY,
+    And,
+    Constant,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    PredicateSymbol,
+    Variable,
+    forall,
+    exists,
+)
+from repro.fol.formula import FALSE, TRUE
+from repro.solver.cnf import atom_key, tseitin
+from repro.solver.euf import (
+    CongruenceClosure,
+    check_euf,
+    parse_atom,
+    parse_term,
+)
+from repro.solver.grounding import GroundingCounter, Universe, ground
+from repro.solver.literals import AtomPool
+from repro.solver.result import SatResult
+from repro.solver.sat import CDCLSolver
+
+E1 = Constant("a", ENTITY)
+E2 = Constant("b", ENTITY)
+D1 = Constant("email", DATA)
+P = PredicateSymbol("p", (ENTITY,))
+Q = PredicateSymbol("q", (ENTITY,))
+SHARE = PredicateSymbol("share", (ENTITY, DATA))
+
+
+def _solve(formula):
+    pool = AtomPool()
+    clauses = tseitin(formula, pool)
+    solver = CDCLSolver(pool.count)
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver.solve(), pool, solver
+
+
+class TestAtomPool:
+    def test_interning(self):
+        pool = AtomPool()
+        assert pool.variable_for("p(a)") == pool.variable_for("p(a)")
+        assert pool.variable_for("p(a)") != pool.variable_for("p(b)")
+
+    def test_fresh_vars_distinct(self):
+        pool = AtomPool()
+        assert pool.fresh() != pool.fresh()
+
+    def test_named_atoms_excludes_aux(self):
+        pool = AtomPool()
+        pool.variable_for("p(a)")
+        pool.fresh("and")
+        assert list(pool.named_atoms()) == ["p(a)"]
+
+    def test_key_round_trip(self):
+        pool = AtomPool()
+        var = pool.variable_for("share(x,y)")
+        assert pool.key_for(var) == "share(x,y)"
+
+
+class TestAtomKey:
+    def test_nullary(self):
+        assert atom_key(PredicateSymbol("flag")()) == "flag"
+
+    def test_binary(self):
+        assert atom_key(SHARE(E1, D1)) == "share(a,email)"
+
+    def test_free_variable_rejected(self):
+        x = Variable("x", ENTITY)
+        with pytest.raises(SolverError):
+            atom_key(P(x))
+
+
+class TestTseitin:
+    def test_atom_sat(self):
+        result, _pool, _ = _solve(P(E1))
+        assert result is SatResult.SAT
+
+    def test_contradiction_unsat(self):
+        result, _pool, _ = _solve(And((P(E1), Not(P(E1)))))
+        assert result is SatResult.UNSAT
+
+    def test_or_requires_one(self):
+        result, pool, solver = _solve(And((Or((P(E1), P(E2))), Not(P(E1)))))
+        assert result is SatResult.SAT
+        model = solver.model()
+        assert model[pool.variable_for("p(b)")] is True
+
+    def test_implies_modus_ponens(self):
+        formula = And((Implies(P(E1), Q(E1)), P(E1), Not(Q(E1))))
+        result, _pool, _ = _solve(formula)
+        assert result is SatResult.UNSAT
+
+    def test_iff_both_directions(self):
+        formula = And((Iff(P(E1), Q(E1)), P(E1), Not(Q(E1))))
+        result, _pool, _ = _solve(formula)
+        assert result is SatResult.UNSAT
+
+    def test_true_false_constants(self):
+        assert _solve(TRUE)[0] is SatResult.SAT
+        assert _solve(FALSE)[0] is SatResult.UNSAT
+
+    def test_empty_and_is_true(self):
+        assert _solve(And(()))[0] is SatResult.SAT
+
+    def test_empty_or_is_false(self):
+        assert _solve(Or(()))[0] is SatResult.UNSAT
+
+    def test_clause_count_linear(self):
+        pool = AtomPool()
+        atoms = tuple(P(Constant(f"c{i}", ENTITY)) for i in range(50))
+        clauses = tseitin(Or(atoms), pool)
+        assert len(clauses) <= 2 * 50 + 5
+
+
+class TestGrounding:
+    def _universe(self):
+        universe = Universe()
+        universe.declare(E1)
+        universe.declare(E2)
+        universe.declare(D1)
+        return universe
+
+    def test_forall_becomes_conjunction(self):
+        x = Variable("x", ENTITY)
+        grounded = ground(forall(x, P(x)), self._universe())
+        assert isinstance(grounded, And)
+        assert len(grounded.operands) == 2
+
+    def test_exists_becomes_disjunction(self):
+        x = Variable("x", ENTITY)
+        grounded = ground(exists(x, P(x)), self._universe())
+        assert isinstance(grounded, Or)
+
+    def test_empty_domain_forall_true(self):
+        x = Variable("x", ENTITY)
+        grounded = ground(forall(x, P(x)), Universe())
+        assert isinstance(grounded, type(TRUE))
+
+    def test_empty_domain_exists_false(self):
+        x = Variable("x", ENTITY)
+        grounded = ground(exists(x, P(x)), Universe())
+        assert isinstance(grounded, type(FALSE))
+
+    def test_nested_quantifiers_multiply(self):
+        x = Variable("x", ENTITY)
+        y = Variable("y", ENTITY)
+        grounded = ground(forall(x, forall(y, Or((P(x), P(y))))), self._universe())
+        # 2 outer instances, each with 2 inner -> 4 leaves.
+        assert isinstance(grounded, And)
+        total = sum(len(op.operands) for op in grounded.operands)
+        assert total == 4
+
+    def test_budget_enforced(self):
+        x = Variable("x", ENTITY)
+        y = Variable("y", ENTITY)
+        counter = GroundingCounter(budget=2)
+        with pytest.raises(BudgetExceededError):
+            ground(
+                forall(x, forall(y, Or((P(x), P(y))))),
+                self._universe(),
+                counter=counter,
+            )
+
+    def test_universe_declare_idempotent(self):
+        universe = Universe()
+        universe.declare(E1)
+        universe.declare(E1)
+        assert universe.size(ENTITY) == 1
+
+    def test_declare_all_sorted(self):
+        universe = Universe()
+        universe.declare_all({E2, E1})
+        assert [c.name for c in universe.domain(ENTITY)] == ["a", "b"]
+
+
+class TestEUFParsing:
+    def test_parse_constant(self):
+        node, nodes = parse_term("a")
+        assert node.name == "a" and node.children == ()
+        assert len(nodes) == 1
+
+    def test_parse_application(self):
+        node, nodes = parse_term("f(a,b)")
+        assert node.name == "f"
+        assert node.children == ("a", "b")
+        assert len(nodes) == 3
+
+    def test_parse_nested(self):
+        node, _nodes = parse_term("f(g(a),b)")
+        assert node.children == ("g(a)", "b")
+
+    def test_parse_atom(self):
+        name, args = parse_atom("share(a,email)")
+        assert name == "share"
+        assert args == ("a", "email")
+
+    def test_parse_nullary_atom(self):
+        assert parse_atom("flag") == ("flag", ())
+
+
+class TestCongruenceClosure:
+    def test_merge_and_find(self):
+        cc = CongruenceClosure()
+        cc.merge("a", "b")
+        assert cc.are_equal("a", "b")
+        assert not cc.are_equal("a", "c")
+
+    def test_transitivity(self):
+        cc = CongruenceClosure()
+        cc.merge("a", "b")
+        cc.merge("b", "c")
+        assert cc.are_equal("a", "c")
+
+    def test_congruence_propagation(self):
+        cc = CongruenceClosure()
+        cc.add_term("f(a)")
+        cc.add_term("f(b)")
+        cc.merge("a", "b")
+        cc.propagate_congruence()
+        assert cc.are_equal("f(a)", "f(b)")
+
+    def test_nested_congruence(self):
+        cc = CongruenceClosure()
+        cc.add_term("g(f(a))")
+        cc.add_term("g(f(b))")
+        cc.merge("a", "b")
+        cc.propagate_congruence()
+        assert cc.are_equal("g(f(a))", "g(f(b))")
+
+
+class TestCheckEUF:
+    def test_consistent_assignment(self):
+        assert check_euf([("=(a,b)", True), ("p(a)", True), ("p(b)", True)]) is None
+
+    def test_predicate_congruence_conflict(self):
+        conflict = check_euf([("=(a,b)", True), ("p(a)", True), ("p(b)", False)])
+        assert conflict is not None
+        keys = {k for k, _v in conflict}
+        assert "p(a)" in keys and "p(b)" in keys
+
+    def test_disequality_violation(self):
+        conflict = check_euf([("=(a,b)", True), ("=(b,c)", True), ("=(a,c)", False)])
+        assert conflict is not None
+
+    def test_disequality_alone_fine(self):
+        assert check_euf([("=(a,b)", False)]) is None
+
+    def test_function_congruence_through_equality(self):
+        conflict = check_euf(
+            [("=(a,b)", True), ("p(f(a))", True), ("p(f(b))", False)]
+        )
+        assert conflict is not None

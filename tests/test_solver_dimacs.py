@@ -1,0 +1,97 @@
+"""Unit tests for DIMACS CNF import/export."""
+
+import random
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.dimacs import from_dimacs, solve_dimacs_file, to_dimacs
+from repro.solver.literals import AtomPool
+from repro.solver.result import SatResult
+from repro.solver.sat import CDCLSolver
+
+
+class TestExport:
+    def test_basic_format(self):
+        text = to_dimacs([(1, -2), (2, 3)])
+        lines = text.strip().splitlines()
+        assert lines[0] == "p cnf 3 2"
+        assert lines[1] == "1 -2 0"
+        assert lines[2] == "2 3 0"
+
+    def test_pool_comments(self):
+        pool = AtomPool()
+        var = pool.variable_for("share(acme,email)")
+        text = to_dimacs([(var,)], pool=pool)
+        assert f"c var {var} = share(acme,email)" in text
+
+    def test_explicit_num_vars(self):
+        text = to_dimacs([(1,)], num_vars=10)
+        assert text.splitlines()[0] == "p cnf 10 1"
+
+    def test_empty_problem(self):
+        assert to_dimacs([]).strip() == "p cnf 0 0"
+
+
+class TestImport:
+    def test_round_trip(self):
+        clauses = [(1, -2), (2, 3), (-1, -3)]
+        num_vars, parsed = from_dimacs(to_dimacs(clauses))
+        assert num_vars == 3
+        assert parsed == clauses
+
+    def test_comments_ignored(self):
+        text = "c a comment\np cnf 2 1\n1 2 0\n"
+        _n, clauses = from_dimacs(text)
+        assert clauses == [(1, 2)]
+
+    def test_multiline_clause(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        _n, clauses = from_dimacs(text)
+        assert clauses == [(1, 2, 3)]
+
+    def test_missing_problem_line_rejected(self):
+        with pytest.raises(SolverError):
+            from_dimacs("1 2 0\n")
+
+    def test_malformed_problem_line_rejected(self):
+        with pytest.raises(SolverError):
+            from_dimacs("p dnf 2 1\n1 0\n")
+
+    def test_gross_count_mismatch_rejected(self):
+        with pytest.raises(SolverError):
+            from_dimacs("p cnf 2 50\n1 0\n")
+
+
+class TestSolveFile:
+    def test_sat_file(self, tmp_path):
+        path = tmp_path / "sat.cnf"
+        path.write_text(to_dimacs([(1, 2), (-1, 2)]))
+        verdict, model = solve_dimacs_file(path)
+        assert verdict == "sat"
+        assert model[2] is True
+
+    def test_unsat_file(self, tmp_path):
+        path = tmp_path / "unsat.cnf"
+        path.write_text(to_dimacs([(1,), (-1,)]))
+        verdict, model = solve_dimacs_file(path)
+        assert verdict == "unsat"
+        assert model == {}
+
+    def test_random_round_trip_preserves_verdict(self, tmp_path):
+        rng = random.Random(5)
+        for trial in range(30):
+            n = rng.randint(2, 8)
+            clauses = [
+                tuple(rng.choice([1, -1]) * rng.randint(1, n) for _ in range(3))
+                for _ in range(rng.randint(2, 25))
+            ]
+            direct = CDCLSolver(n)
+            for clause in clauses:
+                direct.add_clause(clause)
+            expected = direct.solve()
+
+            path = tmp_path / f"t{trial}.cnf"
+            path.write_text(to_dimacs(clauses, num_vars=n))
+            verdict, _model = solve_dimacs_file(path)
+            assert verdict == expected.value

@@ -1,0 +1,171 @@
+"""Unit tests for the Solver façade and DPLL(T) integration."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.fol import (
+    DATA,
+    ENTITY,
+    Constant,
+    PredicateSymbol,
+    Variable,
+    forall,
+    implies,
+    negate,
+    pred,
+)
+from repro.solver import SatResult, Solver, SolverBudget
+
+E1 = Constant("tiktak", ENTITY)
+E2 = Constant("advertisers", ENTITY)
+D1 = Constant("email", DATA)
+D2 = Constant("location", DATA)
+SHARE = PredicateSymbol("share", (ENTITY, DATA))
+CONSENT = PredicateSymbol("consent", (DATA,))
+EQ = PredicateSymbol("=", (ENTITY, ENTITY))
+
+
+class TestBasicChecks:
+    def test_empty_is_sat(self):
+        assert Solver().check_sat().status is SatResult.SAT
+
+    def test_atom_model_readable(self):
+        solver = Solver()
+        solver.assert_formula(SHARE(E1, D1))
+        result = solver.check_sat()
+        assert result.is_sat
+        assert result.model["share(tiktak,email)"] is True
+
+    def test_contradiction(self):
+        solver = Solver()
+        solver.assert_formula(SHARE(E1, D1))
+        solver.assert_formula(negate(SHARE(E1, D1)))
+        assert solver.check_sat().is_unsat
+
+    def test_modus_ponens_entailment(self):
+        solver = Solver()
+        solver.assert_formula(implies(SHARE(E1, D1), CONSENT(D1)))
+        solver.assert_formula(SHARE(E1, D1))
+        solver.assert_formula(negate(CONSENT(D1)))
+        assert solver.check_sat().is_unsat
+
+
+class TestQuantifiers:
+    def test_forall_grounds_over_declared_constants(self):
+        solver = Solver()
+        x = Variable("x", DATA)
+        solver.declare_constant(D1)
+        solver.declare_constant(D2)
+        solver.assert_formula(forall(x, implies(SHARE(E1, x), CONSENT(x))))
+        solver.assert_formula(SHARE(E1, D2))
+        solver.assert_formula(negate(CONSENT(D2)))
+        assert solver.check_sat().is_unsat
+
+    def test_constants_autodeclared_from_assertions(self):
+        solver = Solver()
+        solver.assert_formula(SHARE(E1, D1))
+        assert solver.universe.size(ENTITY) == 1
+        assert solver.universe.size(DATA) == 1
+
+
+class TestPushPop:
+    def test_pop_restores(self):
+        solver = Solver()
+        solver.assert_formula(SHARE(E1, D1))
+        solver.push()
+        solver.assert_formula(negate(SHARE(E1, D1)))
+        assert solver.check_sat().is_unsat
+        solver.pop()
+        assert solver.check_sat().is_sat
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SolverError):
+            Solver().pop()
+
+    def test_nested_scopes(self):
+        solver = Solver()
+        solver.push()
+        solver.push()
+        solver.assert_formula(SHARE(E1, D1))
+        assert len(solver.assertions) == 1
+        solver.pop()
+        assert len(solver.assertions) == 0
+        solver.pop()
+
+
+class TestCheckSatAssuming:
+    def test_assumptions_are_temporary(self):
+        solver = Solver()
+        solver.assert_formula(implies(SHARE(E1, D1), CONSENT(D1)))
+        unsat = solver.check_sat_assuming([SHARE(E1, D1), negate(CONSENT(D1))])
+        assert unsat.is_unsat
+        assert solver.check_sat().is_sat
+
+    def test_multiple_assuming_calls_reuse_solver(self):
+        solver = Solver()
+        solver.assert_formula(implies(SHARE(E1, D1), CONSENT(D1)))
+        first = solver.check_sat_assuming([SHARE(E1, D1)])
+        second = solver.check_sat_assuming([negate(CONSENT(D1))])
+        assert first.is_sat and second.is_sat
+
+    def test_non_literal_assumption_rejected(self):
+        solver = Solver()
+        with pytest.raises(SolverError):
+            solver.check_sat_assuming([implies(SHARE(E1, D1), CONSENT(D1))])
+
+
+class TestEUFIntegration:
+    def test_equality_predicate_congruence(self):
+        solver = Solver()
+        p = PredicateSymbol("trusted", (ENTITY,))
+        solver.assert_formula(EQ(E1, E2))
+        solver.assert_formula(p(E1))
+        solver.assert_formula(negate(p(E2)))
+        assert solver.check_sat().is_unsat
+
+    def test_equality_sat_when_consistent(self):
+        solver = Solver()
+        p = PredicateSymbol("trusted", (ENTITY,))
+        solver.assert_formula(EQ(E1, E2))
+        solver.assert_formula(p(E1))
+        solver.assert_formula(p(E2))
+        assert solver.check_sat().is_sat
+
+
+class TestBudgetsToUnknown:
+    def test_grounding_budget_reports_unknown(self):
+        solver = Solver(SolverBudget(max_ground_instances=1))
+        x = Variable("x", DATA)
+        y = Variable("y", DATA)
+        solver.declare_constant(D1)
+        solver.declare_constant(D2)
+        solver.assert_formula(forall(x, forall(y, implies(SHARE(E1, x), CONSENT(y)))))
+        result = solver.check_sat()
+        assert result.is_unknown
+        assert "grounding budget" in result.reason
+
+    def test_conflict_budget_reports_unknown(self):
+        # PHP(7,6) with a 5-conflict cap cannot finish.
+        solver = Solver(SolverBudget(max_conflicts=5))
+        hole = PredicateSymbol("hole", (ENTITY, ENTITY))
+        pigeons = [Constant(f"p{i}", ENTITY) for i in range(7)]
+        holes = [Constant(f"h{i}", ENTITY) for i in range(6)]
+        from repro.fol.builder import disjoin, conjoin
+
+        for p in pigeons:
+            solver.assert_formula(disjoin([hole(p, h) for h in holes]))
+        for h in holes:
+            for i in range(len(pigeons)):
+                for j in range(i + 1, len(pigeons)):
+                    solver.assert_formula(
+                        negate(hole(pigeons[i], h)) | negate(hole(pigeons[j], h))
+                    )
+        result = solver.check_sat()
+        assert result.is_unknown
+        assert "budget" in result.reason or "timeout" in result.reason
+
+    def test_statistics_populated(self):
+        solver = Solver()
+        solver.assert_formula(SHARE(E1, D1))
+        result = solver.check_sat()
+        assert result.statistics.variables >= 1

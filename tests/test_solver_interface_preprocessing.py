@@ -1,0 +1,95 @@
+"""Tests for the preprocessing-enabled solver path and its soundness."""
+
+import random
+
+import pytest
+
+from repro.fol import (
+    DATA,
+    ENTITY,
+    And,
+    Constant,
+    Implies,
+    Not,
+    Or,
+    PredicateSymbol,
+    Variable,
+    forall,
+    implies,
+    negate,
+)
+from repro.solver import SatResult, Solver
+
+E1 = Constant("tiktak", ENTITY)
+D1 = Constant("email", DATA)
+SHARE = PredicateSymbol("share", (ENTITY, DATA))
+CONSENT = PredicateSymbol("consent", (DATA,))
+
+
+class TestPreprocessingPath:
+    def test_entailment_still_unsat(self):
+        solver = Solver(enable_preprocessing=True)
+        solver.assert_formula(implies(SHARE(E1, D1), CONSENT(D1)))
+        solver.assert_formula(SHARE(E1, D1))
+        solver.assert_formula(negate(CONSENT(D1)))
+        assert solver.check_sat().is_unsat
+
+    def test_model_values_preserved(self):
+        solver = Solver(enable_preprocessing=True)
+        solver.assert_formula(SHARE(E1, D1))
+        result = solver.check_sat()
+        assert result.is_sat
+        assert result.model["share(tiktak,email)"] is True
+
+    def test_root_conflict_detected_by_preprocessing(self):
+        solver = Solver(enable_preprocessing=True)
+        solver.assert_formula(SHARE(E1, D1))
+        solver.assert_formula(negate(SHARE(E1, D1)))
+        assert solver.check_sat().is_unsat
+
+    def test_quantified_formulas_preprocessed(self):
+        solver = Solver(enable_preprocessing=True)
+        x = Variable("x", DATA)
+        solver.declare_constant(D1)
+        solver.assert_formula(forall(x, implies(SHARE(E1, x), CONSENT(x))))
+        solver.assert_formula(SHARE(E1, D1))
+        solver.assert_formula(negate(CONSENT(D1)))
+        assert solver.check_sat().is_unsat
+
+    def test_assumptions_on_named_atoms_sound(self):
+        # Named atoms are protected from pure-literal elimination, so
+        # assuming their negation after preprocessing must stay correct.
+        solver = Solver(enable_preprocessing=True)
+        solver.assert_formula(implies(SHARE(E1, D1), CONSENT(D1)))
+        assert solver.check_sat_assuming(
+            [SHARE(E1, D1), negate(CONSENT(D1))]
+        ).is_unsat
+        assert solver.check_sat_assuming([SHARE(E1, D1)]).is_sat
+
+    def test_push_pop_with_preprocessing(self):
+        solver = Solver(enable_preprocessing=True)
+        solver.assert_formula(SHARE(E1, D1))
+        solver.push()
+        solver.assert_formula(negate(SHARE(E1, D1)))
+        assert solver.check_sat().is_unsat
+        solver.pop()
+        assert solver.check_sat().is_sat
+
+    def test_randomized_agreement_with_plain_solver(self):
+        atoms = [PredicateSymbol(f"q{i}")() for i in range(4)]
+        rng = random.Random(17)
+
+        def rand_formula(depth=0):
+            if depth > 2 or rng.random() < 0.4:
+                atom = rng.choice(atoms)
+                return Not(atom) if rng.random() < 0.5 else atom
+            a, b = rand_formula(depth + 1), rand_formula(depth + 1)
+            return [And((a, b)), Or((a, b)), Implies(a, b)][rng.randrange(3)]
+
+        for _ in range(120):
+            formulas = [rand_formula() for _ in range(rng.randint(1, 5))]
+            plain, pre = Solver(), Solver(enable_preprocessing=True)
+            for f in formulas:
+                plain.assert_formula(f)
+                pre.assert_formula(f)
+            assert plain.check_sat().status == pre.check_sat().status

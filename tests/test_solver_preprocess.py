@@ -1,0 +1,159 @@
+"""Unit and randomized tests for CNF preprocessing."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.solver.preprocess import preprocess
+from repro.solver.result import SatResult
+from repro.solver.sat import CDCLSolver
+
+
+def _brute_sat(n, clauses):
+    for bits in itertools.product([False, True], repeat=n):
+        if all(any((l > 0) == bits[abs(l) - 1] for l in c) for c in clauses):
+            return True
+    return False
+
+
+class TestBasics:
+    def test_tautology_removed(self):
+        result = preprocess([(1, -1)])
+        assert result.clauses == []
+        assert result.stats.tautologies_removed == 1
+
+    def test_duplicate_removed(self):
+        result = preprocess([(1, 2), (2, 1)])
+        assert len(result.clauses) == 1
+        assert result.stats.duplicates_removed == 1
+
+    def test_unit_fixed_and_propagated(self):
+        result = preprocess([(1,), (-1, 2), (-2, 3)])
+        assert result.fixed == {1: True, 2: True, 3: True}
+        assert result.clauses == []
+
+    def test_unit_conflict(self):
+        result = preprocess([(1,), (-1,)])
+        assert result.conflict
+
+    def test_chain_conflict(self):
+        result = preprocess([(1,), (-1, 2), (-2,)])
+        assert result.conflict
+
+    def test_subsumption(self):
+        result = preprocess([(1, 2), (1, 2, 3)])
+        assert result.clauses == [(1, 2)]
+        assert result.stats.subsumed_removed == 1
+
+    def test_satisfied_clause_removed(self):
+        result = preprocess([(1,), (1, 2, 3)])
+        assert result.clauses == []
+        assert result.stats.satisfied_removed >= 1
+
+
+class TestPureLiterals:
+    def test_pure_positive_eliminated(self):
+        result = preprocess([(1, 2), (1, 3)], pure_literals=True)
+        assert result.fixed.get(1) is True
+        assert result.clauses == []
+
+    def test_mixed_polarity_kept(self):
+        result = preprocess([(1, 2), (-1, 3)], pure_literals=True)
+        # 1 is mixed; 2 and 3 are pure and eliminate everything.
+        assert result.fixed.get(2) is True
+        assert result.fixed.get(3) is True
+
+    def test_protected_variable_not_eliminated(self):
+        result = preprocess(
+            [(1, 2)], pure_literals=True, protect=frozenset({1, 2})
+        )
+        assert 1 not in result.fixed
+        assert 2 not in result.fixed
+        assert result.clauses == [(1, 2)]
+
+    def test_disabled_by_default(self):
+        result = preprocess([(1, 2)])
+        assert not result.fixed
+
+
+class TestEquisatisfiability:
+    @pytest.mark.parametrize("pure", [False, True])
+    def test_randomized_against_brute_force(self, pure):
+        rng = random.Random(13 + pure)
+        for _ in range(400):
+            n = rng.randint(1, 7)
+            m = rng.randint(1, 18)
+            clauses = [
+                tuple(
+                    rng.choice([1, -1]) * rng.randint(1, n)
+                    for _ in range(rng.randint(1, 3))
+                )
+                for _ in range(m)
+            ]
+            expected = _brute_sat(n, clauses)
+            result = preprocess(clauses, pure_literals=pure)
+            if result.conflict:
+                got = False
+            else:
+                solver = CDCLSolver(n)
+                ok = True
+                for clause in result.clauses:
+                    ok = solver.add_clause(clause) and ok
+                for var, value in result.fixed.items():
+                    solver.add_clause((var if value else -var,))
+                got = ok and solver.solve() is SatResult.SAT
+            assert got == expected, (clauses, result.fixed, result.clauses)
+
+    def test_fixed_assignments_consistent_with_model(self):
+        clauses = [(1,), (-1, 2), (2, 3), (-3, 4)]
+        result = preprocess(clauses)
+        assert not result.conflict
+        # Every original clause is satisfied by fixed + any model of the rest.
+        solver = CDCLSolver(4)
+        for clause in result.clauses:
+            solver.add_clause(clause)
+        assert solver.solve() is SatResult.SAT
+        model = solver.model()
+        assignment = {v: model.get(v, False) for v in range(1, 5)}
+        assignment.update(result.fixed)
+        for clause in clauses:
+            assert any((l > 0) == assignment[abs(l)] for l in clause)
+
+
+class TestReductionOnRealEncodings:
+    def test_policy_encoding_shrinks(self, tiktak_model):
+        from repro.core.encode import encode_query
+        from repro.core.subgraph import extract_subgraph
+        from repro.fol.builder import negate
+        from repro.llm.tasks import ExtractedParameters
+        from repro.solver.cnf import tseitin
+        from repro.solver.grounding import Universe, ground
+        from repro.solver.literals import AtomPool
+        from repro.fol.visitor import collect_constants
+
+        sub = extract_subgraph(tiktak_model.graph, ["email"], [], max_edges=120)
+        # A non-entailed practice keeps the clause set satisfiable, so the
+        # interesting metric is reduction, not outright refutation.
+        query = ExtractedParameters(
+            sender="tiktak",
+            receiver=None,
+            subject="user",
+            data_type="email",
+            action="sell",
+            condition=None,
+            permission=True,
+        )
+        encoded = encode_query(sub, query)
+        universe = Universe()
+        pool = AtomPool()
+        clauses = []
+        formulas = encoded.policy_formulas + [negate(encoded.query_formula)]
+        for formula in formulas:
+            universe.declare_all(collect_constants(formula))
+        for formula in formulas:
+            clauses.extend(tseitin(ground(formula, universe), pool))
+        result = preprocess(clauses)
+        assert not result.conflict
+        assert len(result.clauses) < len(clauses)
+        assert result.stats.units_fixed > 0

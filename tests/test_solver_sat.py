@@ -1,0 +1,239 @@
+"""Unit tests for the CDCL SAT core."""
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.solver.result import SatResult
+from repro.solver.sat import CDCLSolver, luby
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 10)] == [1, 1, 2, 1, 1, 2, 4, 1, 1]
+
+
+class TestBasicSolving:
+    def test_empty_problem_is_sat(self):
+        assert CDCLSolver(0).solve() is SatResult.SAT
+
+    def test_single_unit_clause(self):
+        solver = CDCLSolver(1)
+        solver.add_clause((1,))
+        assert solver.solve() is SatResult.SAT
+        assert solver.model()[1] is True
+
+    def test_contradictory_units(self):
+        solver = CDCLSolver(1)
+        solver.add_clause((1,))
+        solver.add_clause((-1,))
+        assert solver.solve() is SatResult.UNSAT
+
+    def test_implication_chain(self):
+        solver = CDCLSolver(3)
+        solver.add_clause((-1, 2))
+        solver.add_clause((-2, 3))
+        solver.add_clause((1,))
+        assert solver.solve() is SatResult.SAT
+        model = solver.model()
+        assert model[1] and model[2] and model[3]
+
+    def test_pigeonhole_2_in_1_unsat(self):
+        # Two pigeons, one hole.
+        solver = CDCLSolver(2)
+        solver.add_clause((1,))
+        solver.add_clause((2,))
+        solver.add_clause((-1, -2))
+        assert solver.solve() is SatResult.UNSAT
+
+    def test_tautology_ignored(self):
+        solver = CDCLSolver(1)
+        assert solver.add_clause((1, -1))
+        assert solver.solve() is SatResult.SAT
+
+    def test_duplicate_literals_deduped(self):
+        solver = CDCLSolver(1)
+        solver.add_clause((1, 1, 1))
+        assert solver.solve() is SatResult.SAT
+        assert solver.model()[1] is True
+
+
+class TestNontrivialInstances:
+    def test_php_3_pigeons_2_holes(self):
+        """Pigeonhole principle: 3 pigeons in 2 holes is UNSAT."""
+        solver = CDCLSolver(6)
+        # var(p, h) = 2*p + h + 1 for p in 0..2, h in 0..1
+        def v(p, h):
+            return 2 * p + h + 1
+
+        for p in range(3):
+            solver.add_clause((v(p, 0), v(p, 1)))
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    solver.add_clause((-v(p1, h), -v(p2, h)))
+        assert solver.solve() is SatResult.UNSAT
+        assert solver.stats.conflicts >= 1
+
+    def test_graph_coloring_sat(self):
+        """Triangle is 3-colorable."""
+        solver = CDCLSolver(9)
+        # var(node, color) = 3*node + color + 1
+        def v(n, c):
+            return 3 * n + c + 1
+
+        for n in range(3):
+            solver.add_clause(tuple(v(n, c) for c in range(3)))
+            for c1 in range(3):
+                for c2 in range(c1 + 1, 3):
+                    solver.add_clause((-v(n, c1), -v(n, c2)))
+        for a, b in [(0, 1), (1, 2), (0, 2)]:
+            for c in range(3):
+                solver.add_clause((-v(a, c), -v(b, c)))
+        assert solver.solve() is SatResult.SAT
+        model = solver.model()
+        colors = [next(c for c in range(3) if model[v(n, c)]) for n in range(3)]
+        assert len(set(colors)) == 3
+
+    def test_triangle_not_2_colorable(self):
+        solver = CDCLSolver(6)
+
+        def v(n, c):
+            return 2 * n + c + 1
+
+        for n in range(3):
+            solver.add_clause(tuple(v(n, c) for c in range(2)))
+            solver.add_clause((-v(n, 0), -v(n, 1)))
+        for a, b in [(0, 1), (1, 2), (0, 2)]:
+            for c in range(2):
+                solver.add_clause((-v(a, c), -v(b, c)))
+        assert solver.solve() is SatResult.UNSAT
+
+
+class TestAssumptions:
+    def _make(self):
+        solver = CDCLSolver(3)
+        solver.add_clause((-1, 2))  # 1 -> 2
+        solver.add_clause((-2, 3))  # 2 -> 3
+        return solver
+
+    def test_assumption_propagates(self):
+        solver = self._make()
+        assert solver.solve((1,)) is SatResult.SAT
+        assert solver.model()[3] is True
+
+    def test_conflicting_assumptions(self):
+        solver = self._make()
+        assert solver.solve((1, -3)) is SatResult.UNSAT
+
+    def test_solver_reusable_after_assumptions(self):
+        solver = self._make()
+        assert solver.solve((1, -3)) is SatResult.UNSAT
+        assert solver.solve((1,)) is SatResult.SAT
+        assert solver.solve() is SatResult.SAT
+
+    def test_assumption_of_unknown_var_grows_solver(self):
+        solver = self._make()
+        assert solver.solve((10,)) is SatResult.SAT
+        assert solver.model()[10] is True
+
+
+class TestBudgets:
+    def _hard_instance(self, n=8):
+        """PHP(n+1, n): exponentially hard for resolution-based solvers."""
+        solver = CDCLSolver(
+            (n + 1) * n, max_conflicts=20, max_propagations=None
+        )
+
+        def v(p, h):
+            return p * n + h + 1
+
+        for p in range(n + 1):
+            solver.add_clause(tuple(v(p, h) for h in range(n)))
+        for h in range(n):
+            for p1 in range(n + 1):
+                for p2 in range(p1 + 1, n + 1):
+                    solver.add_clause((-v(p1, h), -v(p2, h)))
+        return solver
+
+    def test_conflict_budget_raises(self):
+        solver = self._hard_instance()
+        with pytest.raises(BudgetExceededError):
+            solver.solve()
+
+    def test_propagation_budget_raises(self):
+        solver = CDCLSolver(3, max_propagations=1)
+        solver.add_clause((1,))
+        solver.add_clause((-1, 2))
+        solver.add_clause((-2, 3))
+        with pytest.raises(BudgetExceededError):
+            solver.solve()
+
+    def test_deadline_in_past_raises(self):
+        solver = CDCLSolver(2, deadline=0.0)
+        solver.add_clause((1, 2))
+        with pytest.raises(BudgetExceededError):
+            solver.solve()
+
+
+class TestStatistics:
+    def test_counters_increase(self):
+        solver = CDCLSolver(3)
+        solver.add_clause((1, 2))
+        solver.add_clause((-1, 2))
+        solver.add_clause((1, -2))
+        solver.solve()
+        assert solver.stats.propagations > 0
+
+
+class TestLearnedClauseDBReduction:
+    def _php(self, pigeons, holes, max_learned):
+        solver = CDCLSolver(pigeons * holes)
+        solver._max_learned = max_learned
+
+        def v(p, h):
+            return p * holes + h + 1
+
+        for p in range(pigeons):
+            solver.add_clause(tuple(v(p, h) for h in range(holes)))
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause((-v(p1, h), -v(p2, h)))
+        return solver
+
+    def test_reduction_triggered_and_answer_correct(self):
+        solver = self._php(8, 7, max_learned=50)
+        assert solver.solve() is SatResult.UNSAT
+        assert solver.stats.db_reductions > 0
+        assert solver.stats.learned_clauses > solver._max_learned
+
+    def test_reduction_keeps_sat_answers_correct(self):
+        # Graph coloring: SAT instance, aggressive cap.
+        solver = CDCLSolver(30)
+        solver._max_learned = 4
+
+        def v(node, color):
+            return 3 * node + color + 1
+
+        edges = [(a, b) for a in range(10) for b in range(a + 1, 10) if (a + b) % 3]
+        for node in range(10):
+            solver.add_clause(tuple(v(node, c) for c in range(3)))
+            for c1 in range(3):
+                for c2 in range(c1 + 1, 3):
+                    solver.add_clause((-v(node, c1), -v(node, c2)))
+        for a, b in edges:
+            for c in range(3):
+                solver.add_clause((-v(a, c), -v(b, c)))
+        result = solver.solve()
+        if result is SatResult.SAT:
+            model = solver.model()
+            for a, b in edges:
+                ca = next(c for c in range(3) if model[v(a, c)])
+                cb = next(c for c in range(3) if model[v(b, c)])
+                assert ca != cb
+
+    def test_solver_reusable_after_reduction(self):
+        solver = self._php(8, 7, max_learned=50)
+        assert solver.solve() is SatResult.UNSAT
+        # The root-level refutation persists across solves.
+        assert solver.solve() is SatResult.UNSAT
