@@ -4,8 +4,10 @@
 The paper cites MAPS, which scaled privacy-compliance analysis to a
 million Android apps, and PolicyLint's corpus statistic that 14.2% of
 apps contain apparent contradictions.  This example runs the pipeline over
-a generated fleet of policies and reports the corpus-level statistics an
-app-store-scale audit would produce.
+a generated fleet of policies, asks every policy the same compliance
+question suite through the concurrent batch engine
+(``PolicyPipeline.query_batch``), and reports the corpus-level statistics
+an app-store-scale audit would produce.
 """
 
 from repro import PolicyPipeline
@@ -17,11 +19,21 @@ from repro.analysis import (
 from repro.corpus.generator import GeneratorProfile, PolicyGenerator
 
 FLEET_SIZE = 12
+BATCH_WORKERS = 8
+
+# The per-app compliance suite an auditor sweeps across the whole fleet.
+COMPLIANCE_QUESTIONS = [
+    "{company} collects the email address.",
+    "{company} shares the location information with advertisers.",
+    "{company} sells the personal information to third parties.",
+    "Law enforcement receives the personal information.",
+]
 
 
 def main() -> None:
     pipeline = PolicyPipeline()
     per_policy = []
+    batch_metrics = []
     for seed in range(FLEET_SIZE):
         # Vary size and contradiction profile across the fleet; a third of
         # the fleet gets no injected genuine contradictions at all.
@@ -39,6 +51,14 @@ def main() -> None:
         )
         coverage = coverage_report(model.graph)
         disclaimers = find_incomplete_disclaimers(model.graph)
+
+        questions = [
+            q.format(company=profile.company) for q in COMPLIANCE_QUESTIONS
+        ]
+        batch = pipeline.query_batch(model, questions, max_workers=BATCH_WORKERS)
+        verdicts = batch.verdict_counts()
+        batch_metrics.append(batch.metrics)
+
         per_policy.append(
             {
                 "company": profile.company,
@@ -49,26 +69,38 @@ def main() -> None:
                 "coherent_fraction": contradictions.coherent_fraction,
                 "retention_gaps": len(coverage.collection_without_retention),
                 "disclaimer_findings": disclaimers.total_findings,
+                "valid": verdicts.get("VALID", 0),
+                "invalid": verdicts.get("INVALID", 0),
+                "unknown": verdicts.get("UNKNOWN", 0),
             }
         )
 
     print(f"{'policy':8s} {'words':>6s} {'edges':>6s} {'apparent':>9s} "
-          f"{'genuine':>8s} {'coherent':>9s} {'ret.gaps':>9s} {'disclaimers':>11s}")
+          f"{'genuine':>8s} {'coherent':>9s} {'ret.gaps':>9s} {'disclaimers':>11s} "
+          f"{'V/I/U':>7s}")
     for row in per_policy:
         print(
             f"{row['company']:8s} {row['words']:6d} {row['edges']:6d} "
             f"{row['apparent']:9d} {row['genuine']:8d} "
             f"{row['coherent_fraction']:8.1%} {row['retention_gaps']:9d} "
-            f"{row['disclaimer_findings']:11d}"
+            f"{row['disclaimer_findings']:11d} "
+            f"{row['valid']:>3d}/{row['invalid']}/{row['unknown']}"
         )
 
     with_genuine = sum(1 for r in per_policy if r["genuine"] > 0)
+    queries_total = sum(m.queries for m in batch_metrics)
+    verify_seconds = sum(m.verify_seconds for m in batch_metrics)
+    cache_hits = sum(m.cache_hits for m in batch_metrics)
+    cache_misses = sum(m.cache_misses for m in batch_metrics)
     print(
         f"\ncorpus statistics ({FLEET_SIZE} policies):"
         f"\n  policies with genuine contradictions: {with_genuine}"
         f" ({with_genuine / FLEET_SIZE:.1%} — PolicyLint reported 14.2% of apps)"
         f"\n  mean coherent-exception fraction: "
         f"{sum(r['coherent_fraction'] for r in per_policy) / FLEET_SIZE:.1%}"
+        f"\n  compliance queries verified: {queries_total}"
+        f" ({BATCH_WORKERS} workers, {verify_seconds:.2f}s solver time,"
+        f" {cache_hits} cache hits / {cache_misses} misses)"
         f"\n  total LLM calls: {pipeline.llm.stats.calls}"
         f" ({pipeline.llm.stats.cache_hits} served from cache)"
     )

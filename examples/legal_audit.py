@@ -2,9 +2,10 @@
 """Legal-team scenario: audit a policy for contradictions and gaps.
 
 Mirrors the PolicyLint workflow the paper cites: scan for apparent
-contradictions, classify which are coherent exception patterns, and report
+contradictions, classify which are coherent exception patterns, report
 the gaps (collection without retention, unconditional sharing, vague-term
-hot spots) that a review should prioritize.
+hot spots) that a review should prioritize, and batch-verify the standing
+compliance question list through ``PolicyPipeline.query_batch``.
 """
 
 from repro import PolicyPipeline
@@ -18,6 +19,7 @@ from repro.analysis import (
     rights_report,
 )
 from repro.corpus import metabook_policy
+from repro.corpus.queries import POLICY_QUERIES
 
 
 def main() -> None:
@@ -49,6 +51,26 @@ def main() -> None:
 
     print("\n--- user rights audit ---")
     print(rights_report(model.extraction.practices, model.graph).render())
+
+    # The standing question list every review runs; the batch engine
+    # verifies them concurrently and shares repeated solver work.
+    print("\n--- batch verification of the compliance question list ---")
+    questions = [q.text for q in POLICY_QUERIES if q.policy == "metabook"] + [
+        "MetaBook shares the precise location with advertisers.",
+        "MetaBook sells the biometric information to data brokers.",
+        "Law enforcement receives the account information.",
+        "MetaBook processes financial information.",  # repeated ask, cache hit
+    ]
+    batch = pipeline.query_batch(model, questions, max_workers=4)
+    for outcome in batch:
+        flags = []
+        if outcome.verification.conditionally_valid:
+            flags.append("conditionally valid")
+        if outcome.verification.has_ambiguity:
+            flags.append(f"depends on {len(outcome.verification.depends_on)} vague terms")
+        suffix = f"  ({'; '.join(flags)})" if flags else ""
+        print(f"  {outcome.verdict!s:7s} {outcome.question}{suffix}")
+    print(f"  {batch.summary()}")
 
     print("\n--- where human judgment is required ---")
     vague = {}

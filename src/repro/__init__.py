@@ -23,7 +23,9 @@ backend (:mod:`repro.llm`), deterministic embeddings
 Meta-scale policy corpora (:mod:`repro.corpus`).
 """
 
+from repro.core.metrics import PipelineMetrics
 from repro.core.pipeline import (
+    BatchOutcome,
     PipelineConfig,
     PolicyModel,
     PolicyPipeline,
@@ -41,6 +43,8 @@ __all__ = [
     "PolicyModel",
     "PipelineConfig",
     "QueryOutcome",
+    "BatchOutcome",
+    "PipelineMetrics",
     "UpdateStats",
     "Verdict",
     "VerificationResult",

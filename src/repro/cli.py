@@ -63,6 +63,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.smtlib:
         print("\n--- SMT-LIB script ---")
         print(outcome.verification.smtlib_text)
+    if args.stats:
+        print("\n--- pipeline metrics ---")
+        print(outcome.metrics.render())
     # Exit code communicates the verdict for scripting: 0 valid, 1 invalid,
     # 2 unknown.
     return {"VALID": 0, "INVALID": 1, "UNKNOWN": 2}[outcome.verdict.value]
@@ -132,6 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("policy", help="path to a policy text file")
     p.add_argument("question", help='declarative query, e.g. "Acme collects the email."')
     p.add_argument("--smtlib", action="store_true", help="print the generated SMT-LIB")
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-stage wall times, cache counters, and solver totals",
+    )
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("audit", help="contradiction and coverage report")

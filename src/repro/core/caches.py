@@ -1,0 +1,72 @@
+"""Per-model memoization caches shared across Phase 3 queries.
+
+A :class:`ModelCaches` instance rides on every
+:class:`~repro.core.pipeline.PolicyModel` and lets
+:meth:`~repro.core.pipeline.PolicyPipeline.query_batch` share repeated work
+between queries:
+
+* **translation** — term -> :class:`~repro.core.translation.TranslationResult`,
+  keyed by the lowered term, the search parameters, and the model's
+  vocabulary revision;
+* **subgraph** — canonical translated-term key (see
+  :func:`repro.core.subgraph.subgraph_cache_key`) -> extracted
+  :class:`~repro.core.subgraph.Subgraph`;
+* **verification** — stable hash of the compiled SMT-LIB script plus the
+  solver budget -> :class:`~repro.core.verify.VerificationResult`.
+
+Every key embeds the model's ``revision`` counter, so entries surviving an
+incremental update can never be served stale; :meth:`clear` additionally
+drops them eagerly.  Lookups and stores are lock-guarded; values are
+computed outside the lock, so a race costs at most one redundant (but
+deterministic, hence identical) computation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+_MISS = object()
+
+
+class ModelCaches:
+    """Thread-safe translation/subgraph/verification caches for one model."""
+
+    KINDS = ("translation", "subgraph", "verification")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tables: dict[str, dict[Any, Any]] = {kind: {} for kind in self.KINDS}
+        self.hits: dict[str, int] = {kind: 0 for kind in self.KINDS}
+        self.misses: dict[str, int] = {kind: 0 for kind in self.KINDS}
+
+    def get(self, kind: str, key: Any) -> Any:
+        """Cached value for ``key``, or the :data:`MISS` sentinel."""
+        with self._lock:
+            value = self._tables[kind].get(key, _MISS)
+            if value is _MISS:
+                self.misses[kind] += 1
+            else:
+                self.hits[kind] += 1
+            return value
+
+    def put(self, kind: str, key: Any, value: Any) -> None:
+        with self._lock:
+            self._tables[kind][key] = value
+
+    def clear(self) -> None:
+        """Drop every entry (called on incremental model updates)."""
+        with self._lock:
+            for table in self._tables.values():
+                table.clear()
+
+    def size(self, kind: str) -> int:
+        with self._lock:
+            return len(self._tables[kind])
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(table) for table in self._tables.values())
+
+
+MISS = _MISS

@@ -1,0 +1,99 @@
+"""Per-query and per-batch pipeline metrics.
+
+Phase 3 is a four-stage pipeline (translate, subgraph, encode, verify)
+preceded by LLM parameter extraction.  :class:`PipelineMetrics` records the
+wall time each stage cost, how often the per-model memoization caches
+answered instead, and the solver work the verification stage performed.
+One instance is attached to every :class:`~repro.core.pipeline.QueryOutcome`;
+:meth:`PipelineMetrics.merge` folds the per-query instances into the
+:class:`~repro.core.pipeline.BatchOutcome` summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(slots=True)
+class PipelineMetrics:
+    """Cost accounting for one query (or, merged, for one batch)."""
+
+    queries: int = 1
+    parse_seconds: float = 0.0  # normalization + LLM parameter extraction
+    translate_seconds: float = 0.0
+    subgraph_seconds: float = 0.0
+    encode_seconds: float = 0.0
+    verify_seconds: float = 0.0
+    total_seconds: float = 0.0
+    translation_hits: int = 0
+    translation_misses: int = 0
+    subgraph_hits: int = 0
+    subgraph_misses: int = 0
+    verification_hits: int = 0
+    verification_misses: int = 0
+    solver_conflicts: int = 0
+    solver_propagations: int = 0
+
+    @property
+    def cache_hits(self) -> int:
+        return self.translation_hits + self.subgraph_hits + self.verification_hits
+
+    @property
+    def cache_misses(self) -> int:
+        return (
+            self.translation_misses
+            + self.subgraph_misses
+            + self.verification_misses
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
+
+    def merge(self, other: "PipelineMetrics") -> None:
+        """Fold ``other`` into this instance (all counters are additive)."""
+        for spec in fields(self):
+            setattr(
+                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
+            )
+
+    def as_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            out[spec.name] = round(value, 6) if isinstance(value, float) else value
+        out["cache_hit_rate"] = round(self.hit_rate, 4)
+        return out
+
+    def render(self) -> str:
+        """Human-readable block for the CLI ``--stats`` flag."""
+        lines = [
+            f"queries: {self.queries}",
+            "stage seconds: "
+            f"parse {self.parse_seconds:.3f}, "
+            f"translate {self.translate_seconds:.3f}, "
+            f"subgraph {self.subgraph_seconds:.3f}, "
+            f"encode {self.encode_seconds:.3f}, "
+            f"verify {self.verify_seconds:.3f} "
+            f"(total {self.total_seconds:.3f})",
+            f"translation cache: {self.translation_hits} hits / "
+            f"{self.translation_misses} misses",
+            f"subgraph cache: {self.subgraph_hits} hits / "
+            f"{self.subgraph_misses} misses",
+            f"verification cache: {self.verification_hits} hits / "
+            f"{self.verification_misses} misses",
+            f"solver: {self.solver_conflicts} conflicts, "
+            f"{self.solver_propagations} propagations",
+        ]
+        return "\n".join(lines)
+
+
+def merged(parts: list[PipelineMetrics]) -> PipelineMetrics:
+    """Sum a list of per-query metrics into one batch summary."""
+    total = PipelineMetrics(queries=0)
+    for part in parts:
+        total.merge(part)
+    return total

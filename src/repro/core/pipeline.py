@@ -1,28 +1,48 @@
 """Algorithm 1 end to end: the :class:`PolicyPipeline` orchestrator.
 
 ``process`` runs Phases 1 and 2 over a policy and returns a
-:class:`PolicyModel`; ``query`` runs Phase 3 against a model; ``update``
+:class:`PolicyModel`; ``query`` runs Phase 3 against a model;
+``query_batch`` runs many Phase 3 queries concurrently against one model,
+sharing repeated work through the model's memoization caches; ``update``
 applies a new policy version incrementally, re-extracting only segments
 whose content hash changed.  Artifacts (segments, practices, graphs,
 embeddings) can be persisted as JSON for inspection, mirroring the paper's
 per-stage caching.
+
+Concurrency contract: a :class:`PolicyModel` and its substrates
+(:class:`~repro.embeddings.store.EmbeddingStore`,
+:class:`~repro.llm.client.CachedLLM`, :class:`~repro.core.caches.ModelCaches`)
+are safe to share across query workers; each verification builds its own
+:class:`~repro.solver.interface.Solver`, which is single-thread-owned.
+``process`` and ``update`` are not concurrent-safe against in-flight
+queries on the same model — batch boundaries are the synchronization
+points.
 """
 
 from __future__ import annotations
 
 import json
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterable
 
+from repro.core.caches import MISS, ModelCaches
 from repro.core.encode import EncodedQuery, encode_query
 from repro.core.extraction import ExtractionResult, extract_policy
 from repro.core.graphs import NODE_DATA, NODE_ENTITY, PolicyGraph
 from repro.core.hierarchy import Taxonomy, chain_of_layer
+from repro.core.metrics import PipelineMetrics, merged
 from repro.core.segmenter import diff_segments, segment_policy
-from repro.core.subgraph import Subgraph, extract_subgraph
+from repro.core.subgraph import Subgraph, extract_subgraph, subgraph_cache_key
 from repro.core.translation import TranslationResult, translate_query_terms
-from repro.core.verify import VerificationResult, verify_encoded
+from repro.core.verify import (
+    VerificationResult,
+    compile_script_text,
+    verification_cache_key,
+    verify_encoded,
+)
 from repro.embeddings.model import EmbeddingModel
 from repro.embeddings.search import edge_text
 from repro.embeddings.store import EmbeddingStore
@@ -31,6 +51,8 @@ from repro.llm.client import CachedLLM, LLMClient
 from repro.llm.simulated import SimulatedLLM
 from repro.llm.tasks import TaskRunner
 from repro.solver.interface import SolverBudget
+
+DEFAULT_BATCH_WORKERS = 8
 
 
 @dataclass(slots=True)
@@ -46,6 +68,7 @@ class PipelineConfig:
     check_conditional: bool = True
     solver_budget: SolverBudget = field(default_factory=SolverBudget)
     max_subgraph_edges: int | None = None
+    enable_query_caches: bool = True  # per-model Phase 3 memoization
 
 
 @dataclass(slots=True)
@@ -59,6 +82,8 @@ class PolicyModel:
     graph: PolicyGraph
     store: EmbeddingStore
     node_vocabulary: set[str] = field(default_factory=set)
+    revision: int = 0  # bumped by every update; embedded in cache keys
+    caches: ModelCaches = field(default_factory=ModelCaches)
 
     @property
     def statistics(self):
@@ -91,6 +116,7 @@ class QueryOutcome:
     subgraph: Subgraph
     encoded: EncodedQuery
     verification: VerificationResult
+    metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
 
     @property
     def verdict(self):
@@ -109,9 +135,14 @@ class QueryOutcome:
         lines.append(self.verification.summary())
         return "\n".join(lines)
 
-    def as_dict(self) -> dict[str, object]:
-        """JSON-serializable trace of the full Phase 3 run."""
-        return {
+    def as_dict(self, *, include_metrics: bool = False) -> dict[str, object]:
+        """JSON-serializable trace of the full Phase 3 run.
+
+        Metrics (wall times, cache counters) are excluded by default so
+        traces of equivalent runs compare byte-identical; pass
+        ``include_metrics=True`` for the full accounting.
+        """
+        trace: dict[str, object] = {
             "question": self.question,
             "translations": {
                 term: {
@@ -124,6 +155,61 @@ class QueryOutcome:
             "subgraph_edges": self.subgraph.num_edges,
             "policy_formulas": self.encoded.num_policy_formulas,
             "verification": self.verification.as_dict(),
+        }
+        if include_metrics:
+            trace["metrics"] = self.metrics.as_dict()
+        return trace
+
+
+@dataclass(slots=True)
+class BatchOutcome:
+    """The outcomes of one :meth:`PolicyPipeline.query_batch` run.
+
+    ``outcomes`` preserves the order of the input questions; ``metrics``
+    is the sum of every query's :class:`PipelineMetrics`.
+    """
+
+    outcomes: list[QueryOutcome]
+    metrics: PipelineMetrics
+    seconds: float
+    max_workers: int
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    @property
+    def verdicts(self):
+        return [o.verdict for o in self.outcomes]
+
+    def verdict_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            name = outcome.verdict.value
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        counts = ", ".join(
+            f"{n} {v}" for v, n in sorted(self.verdict_counts().items())
+        )
+        return (
+            f"{len(self.outcomes)} queries in {self.seconds:.2f}s "
+            f"({self.max_workers} workers): {counts or 'no verdicts'}; "
+            f"cache hit rate {self.metrics.hit_rate:.1%} "
+            f"({self.metrics.cache_hits} hits / {self.metrics.cache_misses} misses)"
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "queries": len(self.outcomes),
+            "seconds": round(self.seconds, 6),
+            "max_workers": self.max_workers,
+            "verdicts": self.verdict_counts(),
+            "metrics": self.metrics.as_dict(),
+            "outcomes": [o.as_dict() for o in self.outcomes],
         }
 
 
@@ -193,11 +279,7 @@ class PolicyPipeline:
 
         store = EmbeddingStore(self.embedding_model)
         vocabulary: set[str] = set()
-        for node in graph.graph.nodes:
-            store.add(node)
-            vocabulary.add(node)
-        for edge in graph.edges():
-            store.add(edge_text(edge.source, edge.action, edge.target))
+        self._index_graph_embeddings(store, vocabulary, graph)
 
         return PolicyModel(
             company=extraction.company,
@@ -208,6 +290,23 @@ class PolicyPipeline:
             store=store,
             node_vocabulary=vocabulary,
         )
+
+    @staticmethod
+    def _index_graph_embeddings(
+        store: EmbeddingStore, vocabulary: set[str], graph: PolicyGraph
+    ) -> None:
+        """Index a graph's nodes and edge texts into the embedding store.
+
+        Both fresh builds and in-place patches go through this helper, so
+        the two paths produce identical store entries: node names enter the
+        query vocabulary, and every materialized edge (including derived
+        ``receive`` edges) contributes its canonical edge text.
+        """
+        for node in graph.graph.nodes:
+            store.add(node)
+            vocabulary.add(node)
+        for edge in graph.edges():
+            store.add(edge_text(edge.source, edge.action, edge.target))
 
     # ------------------------------------------------------------------
     # Incremental updates
@@ -250,6 +349,11 @@ class PolicyPipeline:
             new_model = self._patch_model(model, extraction, diff)
         else:
             new_model = self._build_model(extraction)
+        # Invalidate Phase 3 memoization: the revision bump retires every
+        # cache key derived from the old vocabulary/graph, and the clear
+        # releases the stale entries eagerly.
+        new_model.revision = model.revision + 1
+        new_model.caches.clear()
         stats = UpdateStats(
             segments_total=len(new_segments),
             segments_reused=len(diff.unchanged),
@@ -291,13 +395,15 @@ class PolicyPipeline:
             extend_taxonomy(self.runner, model.entity_taxonomy, new_entities)
 
         graph.add_practices(new_practices)
-        for node in candidate_graph.graph.nodes:
-            model.store.add(node)
-            model.node_vocabulary.add(node)
-        for edge in new_practices:
-            model.store.add(
-                edge_text(edge.sender.lower(), edge.action.lower(), edge.data_type.lower())
-            )
+        # The candidate graph materialized the same edges (primary and
+        # derived) the main graph just gained, so indexing it keeps the
+        # store identical to what a fresh build would produce.
+        self._index_graph_embeddings(model.store, model.node_vocabulary, candidate_graph)
+        # Nodes orphaned by removed segments left the graph; drop them from
+        # the query vocabulary too so a patched model translates terms
+        # exactly like a rebuilt one (the store keeps their vectors, but
+        # the vocabulary filter excludes them from matching).
+        model.node_vocabulary.intersection_update(graph.graph.nodes)
         model.extraction = extraction
         return model
 
@@ -310,9 +416,17 @@ class PolicyPipeline:
 
         Accepts both declarative statements ("TikTak collects the email.")
         and questions ("Does TikTak collect my email?"), which are
-        normalized before extraction.
+        normalized before extraction.  Repeated work is shared through the
+        model's memoization caches (disable with
+        ``PipelineConfig.enable_query_caches=False``); the attached
+        :class:`PipelineMetrics` records per-stage wall time, cache
+        hits/misses, and solver work.
         """
         from repro.core.questions import is_question, normalize_question
+
+        metrics = PipelineMetrics()
+        caches = model.caches if self.config.enable_query_caches else None
+        started = time.perf_counter()
 
         normalized = question
         if is_question(question):
@@ -324,7 +438,9 @@ class PolicyPipeline:
                 f"could not extract a data practice from query: {question!r}"
             )
         params = candidates[0]
+        metrics.parse_seconds = time.perf_counter() - started
 
+        stage = time.perf_counter()
         terms = [params.data_type]
         if params.sender:
             terms.append(params.sender)
@@ -337,7 +453,11 @@ class PolicyPipeline:
             vocabulary=model.node_vocabulary,
             k=self.config.top_k,
             min_similarity=self.config.min_similarity,
+            cache=caches,
+            revision=model.revision,
+            metrics=metrics,
         )
+        metrics.translate_seconds = time.perf_counter() - stage
 
         def translated(term: str | None) -> str | None:
             if term is None:
@@ -357,31 +477,139 @@ class PolicyPipeline:
             permission=params.permission,
         )
 
-        subgraph = extract_subgraph(
-            model.graph,
-            [translated_params.data_type],
-            [t for t in (translated_params.sender, translated_params.receiver) if t],
-            use_hierarchy=self.config.include_hierarchy_axioms,
-            max_edges=self.config.max_subgraph_edges,
-        )
+        stage = time.perf_counter()
+        subgraph = self._relevant_subgraph(model, translated_params, caches, metrics)
+        metrics.subgraph_seconds = time.perf_counter() - stage
+
+        stage = time.perf_counter()
         encoded = encode_query(
             subgraph,
             translated_params,
             include_hierarchy_axioms=self.config.include_hierarchy_axioms,
             simplify_formulas=self.config.simplify_formulas,
         )
-        verification = verify_encoded(
-            encoded,
-            budget=self.config.solver_budget,
-            via_smtlib=self.config.use_smtlib_roundtrip,
-            check_conditional=self.config.check_conditional,
-        )
+        metrics.encode_seconds = time.perf_counter() - stage
+
+        stage = time.perf_counter()
+        verification = self._verify(encoded, caches, metrics)
+        metrics.verify_seconds = time.perf_counter() - stage
+        metrics.total_seconds = time.perf_counter() - started
+
         return QueryOutcome(
             question=question,
             translations=translations,
             subgraph=subgraph,
             encoded=encoded,
             verification=verification,
+            metrics=metrics,
+        )
+
+    def _relevant_subgraph(
+        self,
+        model: PolicyModel,
+        params,
+        caches: ModelCaches | None,
+        metrics: PipelineMetrics,
+    ) -> Subgraph:
+        """Extract (or reuse) the subgraph for translated query params."""
+        data_terms = [params.data_type]
+        entity_terms = [t for t in (params.sender, params.receiver) if t]
+        key = subgraph_cache_key(
+            data_terms,
+            entity_terms,
+            use_hierarchy=self.config.include_hierarchy_axioms,
+            max_edges=self.config.max_subgraph_edges,
+            revision=model.revision,
+        )
+        if caches is not None:
+            hit = caches.get("subgraph", key)
+            if hit is not MISS:
+                metrics.subgraph_hits += 1
+                return hit
+        subgraph = extract_subgraph(
+            model.graph,
+            data_terms,
+            entity_terms,
+            use_hierarchy=self.config.include_hierarchy_axioms,
+            max_edges=self.config.max_subgraph_edges,
+        )
+        metrics.subgraph_misses += 1
+        if caches is not None:
+            caches.put("subgraph", key, subgraph)
+        return subgraph
+
+    def _verify(
+        self,
+        encoded: EncodedQuery,
+        caches: ModelCaches | None,
+        metrics: PipelineMetrics,
+    ) -> VerificationResult:
+        """Verify (or reuse) an encoded query.
+
+        Each miss builds fresh :class:`~repro.solver.interface.Solver`
+        instances inside :func:`verify_encoded`, so concurrent workers
+        never share solver state; hits skip the solver entirely and are
+        not counted in the solver totals.
+        """
+        script_text = compile_script_text(encoded)
+        key = verification_cache_key(
+            script_text,
+            self.config.solver_budget,
+            via_smtlib=self.config.use_smtlib_roundtrip,
+            check_conditional=self.config.check_conditional,
+        )
+        if caches is not None:
+            hit = caches.get("verification", key)
+            if hit is not MISS:
+                metrics.verification_hits += 1
+                return hit
+        verification = verify_encoded(
+            encoded,
+            budget=self.config.solver_budget,
+            via_smtlib=self.config.use_smtlib_roundtrip,
+            check_conditional=self.config.check_conditional,
+            script_text=script_text,
+        )
+        metrics.verification_misses += 1
+        stats = verification.solver_result.statistics
+        metrics.solver_conflicts += stats.conflicts
+        metrics.solver_propagations += stats.propagations
+        if caches is not None:
+            caches.put("verification", key, verification)
+        return verification
+
+    def query_batch(
+        self,
+        model: PolicyModel,
+        questions: Iterable[str],
+        *,
+        max_workers: int | None = None,
+    ) -> BatchOutcome:
+        """Verify many questions against one model concurrently.
+
+        Questions fan out over a :class:`ThreadPoolExecutor`; outcomes come
+        back in input order and are verdict-identical to a sequential
+        :meth:`query` loop — workers only share the model's memoization
+        caches and the thread-safe substrates, and every stage is
+        deterministic.  ``max_workers`` defaults to
+        ``min(DEFAULT_BATCH_WORKERS, len(questions))``.
+        """
+        questions = list(questions)
+        if max_workers is None:
+            max_workers = min(DEFAULT_BATCH_WORKERS, max(1, len(questions)))
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        started = time.perf_counter()
+        if max_workers == 1 or len(questions) <= 1:
+            outcomes = [self.query(model, q) for q in questions]
+        else:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                outcomes = list(pool.map(lambda q: self.query(model, q), questions))
+        return BatchOutcome(
+            outcomes=outcomes,
+            metrics=merged([o.metrics for o in outcomes]),
+            seconds=time.perf_counter() - started,
+            max_workers=max_workers,
         )
 
     # ------------------------------------------------------------------

@@ -34,6 +34,30 @@ class Subgraph:
         return "\n".join(lines)
 
 
+def subgraph_cache_key(
+    data_terms: list[str],
+    entity_terms: list[str],
+    *,
+    use_hierarchy: bool,
+    max_edges: int | None,
+    revision: int = 0,
+) -> tuple:
+    """Canonical memoization key for :func:`extract_subgraph`.
+
+    Extraction is order-insensitive in its term lists (closures are set
+    unions, traversal is sorted), so the key lowers and sorts them; the
+    model ``revision`` is embedded so cached slices die with the graph
+    version that produced them.
+    """
+    return (
+        tuple(sorted({t.lower() for t in data_terms})),
+        tuple(sorted({t.lower() for t in entity_terms})),
+        bool(use_hierarchy),
+        max_edges,
+        revision,
+    )
+
+
 def extract_subgraph(
     graph: PolicyGraph,
     data_terms: list[str],

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.caches import MISS, ModelCaches
+from repro.core.metrics import PipelineMetrics
 from repro.embeddings.search import DEFAULT_TOP_K, top_k
 from repro.embeddings.store import EmbeddingStore
 from repro.llm.tasks import TaskRunner
@@ -70,6 +72,18 @@ def translate_term(
     return TranslationResult(lowered, lowered, 0.0, False)
 
 
+def translation_cache_key(
+    term: str, *, k: int, min_similarity: float, revision: int = 0
+) -> tuple[str, int, float, int]:
+    """Canonical cache key for one term translation.
+
+    The key embeds the model's vocabulary ``revision`` so entries cached
+    before an incremental update can never answer queries against the
+    updated vocabulary.
+    """
+    return (term.strip().lower(), k, min_similarity, revision)
+
+
 def translate_query_terms(
     runner: TaskRunner,
     store: EmbeddingStore,
@@ -78,10 +92,32 @@ def translate_query_terms(
     vocabulary: set[str] | None = None,
     k: int = DEFAULT_TOP_K,
     min_similarity: float = 0.3,
+    cache: ModelCaches | None = None,
+    revision: int = 0,
+    metrics: PipelineMetrics | None = None,
 ) -> dict[str, TranslationResult]:
-    """Translate several query terms; returns a per-term result map."""
-    return {
-        term: translate_term(
+    """Translate several query terms; returns a per-term result map.
+
+    With a ``cache``, each term is looked up by
+    :func:`translation_cache_key` first; misses are computed and stored.
+    :class:`TranslationResult` is frozen, so cached instances are safely
+    shared across concurrent queries.
+    """
+    results: dict[str, TranslationResult] = {}
+    for term in terms:
+        if not term or not term.strip():
+            continue
+        key = translation_cache_key(
+            term, k=k, min_similarity=min_similarity, revision=revision
+        )
+        if cache is not None:
+            hit = cache.get("translation", key)
+            if hit is not MISS:
+                if metrics is not None:
+                    metrics.translation_hits += 1
+                results[term] = hit
+                continue
+        result = translate_term(
             runner,
             store,
             term,
@@ -89,6 +125,9 @@ def translate_query_terms(
             k=k,
             min_similarity=min_similarity,
         )
-        for term in terms
-        if term and term.strip()
-    }
+        if metrics is not None:
+            metrics.translation_misses += 1
+        if cache is not None:
+            cache.put("translation", key, result)
+        results[term] = result
+    return results

@@ -16,6 +16,7 @@ follow if every vague condition were resolved in the policy's favour
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.core.encode import EncodedQuery
@@ -101,18 +102,53 @@ def _status_to_verdict(status: SatResult) -> Verdict:
     return Verdict.UNKNOWN
 
 
+def compile_script_text(encoded: EncodedQuery) -> str:
+    """The SMT-LIB text of the validity check for ``encoded``.
+
+    This is the stable serialization the verification cache hashes: two
+    queries that compile to the same script are the same solver problem.
+    """
+    if encoded.query_formula is None:
+        raise QueryError("encoded query has no query formula")
+    return compile_validity_script(
+        encoded.policy_formulas, encoded.query_formula
+    ).to_text()
+
+
+def verification_cache_key(
+    script_text: str,
+    budget: SolverBudget | None,
+    *,
+    via_smtlib: bool = True,
+    check_conditional: bool = True,
+) -> tuple:
+    """Memoization key for :func:`verify_encoded`.
+
+    Content-hashing the script makes the key revision-independent: the
+    formulas fully determine the verdict, so a subgraph untouched by a
+    policy update could even hit across revisions (the pipeline clears
+    per-model caches on update regardless).
+    """
+    digest = hashlib.sha256(script_text.encode("utf-8")).hexdigest()
+    return (digest, budget or SolverBudget(), via_smtlib, check_conditional)
+
+
 def verify_encoded(
     encoded: EncodedQuery,
     *,
     budget: SolverBudget | None = None,
     via_smtlib: bool = True,
     check_conditional: bool = True,
+    script_text: str | None = None,
 ) -> VerificationResult:
-    """Check whether the encoded policy entails the encoded query."""
+    """Check whether the encoded policy entails the encoded query.
+
+    ``script_text`` lets callers that already compiled the SMT-LIB script
+    (e.g. to build a cache key) pass it in instead of compiling twice.
+    """
     if encoded.query_formula is None:
         raise QueryError("encoded query has no query formula")
-    script = compile_validity_script(encoded.policy_formulas, encoded.query_formula)
-    text = script.to_text()
+    text = script_text if script_text is not None else compile_script_text(encoded)
 
     if via_smtlib:
         results = execute_script(text, budget=budget)

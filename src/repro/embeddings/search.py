@@ -40,15 +40,17 @@ def top_k(
     qnorm = np.linalg.norm(query_vec)
     if qnorm == 0:
         return []
-    matrix = store.matrix()
+    # One consistent (keys, matrix) snapshot: concurrent inserts from other
+    # query workers must not shift rows out from under the key list.
+    keys, matrix = store.snapshot()
     scores = matrix @ (query_vec / qnorm)
-    order = sorted(range(len(scores)), key=lambda i: (-scores[i], store.keys[i]))
+    order = sorted(range(len(scores)), key=lambda i: (-scores[i], keys[i]))
     hits = []
     for i in order[:k]:
         score = float(scores[i])
         if score < min_score:
             break
-        hits.append(SearchHit(key=store.keys[i], score=score))
+        hits.append(SearchHit(key=keys[i], score=score))
     return hits
 
 

@@ -4,10 +4,17 @@ The paper pre-computes embeddings for every node and edge of the policy
 graphs and caches them alongside the other pipeline artifacts.  The store
 keeps an insertion-ordered matrix for fast batched cosine search and can be
 persisted to ``.npz``.
+
+The store is thread-safe: concurrent batch queries read (and lazily
+insert) vectors from many workers, so all index mutations and matrix
+reads are lock-guarded.  Embedding itself happens outside the lock — the
+model is deterministic, so a racing double-computation of the same key
+yields identical vectors and only one wins the insert.
 """
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -20,31 +27,41 @@ class EmbeddingStore:
 
     def __init__(self, model: EmbeddingModel | None = None) -> None:
         self.model = model or EmbeddingModel()
+        self._lock = threading.RLock()
         self._keys: list[str] = []
         self._index: dict[str, int] = {}
         self._rows: list[np.ndarray] = []
         self._matrix: np.ndarray | None = None
 
     def __len__(self) -> int:
-        return len(self._keys)
+        with self._lock:
+            return len(self._keys)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._index
+        with self._lock:
+            return key in self._index
 
     @property
     def keys(self) -> list[str]:
-        return list(self._keys)
+        with self._lock:
+            return list(self._keys)
 
     def add(self, key: str) -> np.ndarray:
-        """Embed and store ``key``; idempotent."""
-        if key in self._index:
-            return self._rows[self._index[key]]
+        """Embed and store ``key``; idempotent and thread-safe."""
+        with self._lock:
+            idx = self._index.get(key)
+            if idx is not None:
+                return self._rows[idx]
         vec = self.model.embed(key)
-        self._index[key] = len(self._keys)
-        self._keys.append(key)
-        self._rows.append(vec)
-        self._matrix = None
-        return vec
+        with self._lock:
+            idx = self._index.get(key)
+            if idx is not None:  # another thread won the race
+                return self._rows[idx]
+            self._index[key] = len(self._keys)
+            self._keys.append(key)
+            self._rows.append(vec)
+            self._matrix = None
+            return vec
 
     def add_many(self, keys: list[str]) -> None:
         for key in keys:
@@ -52,27 +69,41 @@ class EmbeddingStore:
 
     def get(self, key: str) -> np.ndarray:
         """Vector for ``key``, embedding on demand if absent."""
-        if key not in self._index:
-            return self.add(key)
-        return self._rows[self._index[key]]
+        with self._lock:
+            idx = self._index.get(key)
+            if idx is not None:
+                return self._rows[idx]
+        return self.add(key)
 
     def matrix(self) -> np.ndarray:
         """All stored vectors stacked row-wise (cached until mutation)."""
-        if self._matrix is None:
-            if self._rows:
-                self._matrix = np.stack(self._rows)
-            else:
-                self._matrix = np.zeros((0, self.model.dim))
-        return self._matrix
+        with self._lock:
+            if self._matrix is None:
+                if self._rows:
+                    self._matrix = np.stack(self._rows)
+                else:
+                    self._matrix = np.zeros((0, self.model.dim))
+            return self._matrix
+
+    def snapshot(self) -> tuple[list[str], np.ndarray]:
+        """Consistent (keys, matrix) pair taken under one lock hold.
+
+        Concurrent searchers need the key list and the row matrix to line
+        up; grabbing them in two separate calls could interleave with an
+        insert.
+        """
+        with self._lock:
+            return list(self._keys), self.matrix()
 
     def save(self, path: str | Path) -> None:
         """Persist keys and vectors to an ``.npz`` file."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
+        keys, matrix = self.snapshot()
         np.savez_compressed(
             path,
-            keys=np.array(self._keys, dtype=object),
-            matrix=self.matrix(),
+            keys=np.array(keys, dtype=object),
+            matrix=matrix,
             model_name=np.array(self.model.name),
             dim=np.array(self.model.dim),
         )

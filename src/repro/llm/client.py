@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Protocol, runtime_checkable
@@ -60,6 +61,17 @@ def prompt_fingerprint(prompt: str) -> str:
     return hashlib.sha256(prompt.encode("utf-8")).hexdigest()
 
 
+class _InFlight:
+    """A completion one thread owns and others wait on."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: str | None = None
+        self.error: BaseException | None = None
+
+
 class CachedLLM:
     """Response cache around any :class:`LLMClient`.
 
@@ -67,6 +79,12 @@ class CachedLLM:
     policy updates only re-extract modified segments; this wrapper provides
     that behaviour at the completion level.  The cache can optionally be
     persisted to a JSON file for cross-run reuse.
+
+    The wrapper is thread-safe: cache reads/writes and usage accounting are
+    lock-guarded, and concurrent requests for the *same* prompt are
+    deduplicated — one thread calls the inner client while the rest block on
+    the in-flight entry and count as cache hits, so an identical prompt
+    never reaches the backend twice.
     """
 
     def __init__(
@@ -76,7 +94,9 @@ class CachedLLM:
         cache_path: str | Path | None = None,
     ) -> None:
         self._inner = inner
+        self._lock = threading.Lock()
         self._cache: dict[str, str] = {}
+        self._in_flight: dict[str, _InFlight] = {}
         self._cache_path = Path(cache_path) if cache_path else None
         self.stats = UsageStats()
         if self._cache_path and self._cache_path.exists():
@@ -84,27 +104,55 @@ class CachedLLM:
 
     def complete(self, prompt: str) -> str:
         key = prompt_fingerprint(prompt)
-        if key in self._cache:
-            self.stats.cache_hits += 1
-            return self._cache[key]
-        completion = self._inner.complete(prompt)
+        with self._lock:
+            if key in self._cache:
+                self.stats.cache_hits += 1
+                return self._cache[key]
+            pending = self._in_flight.get(key)
+            if pending is None:
+                pending = self._in_flight[key] = _InFlight()
+                owner = True
+            else:
+                owner = False
+        if not owner:
+            pending.event.wait()
+            if pending.error is not None:
+                raise pending.error
+            with self._lock:
+                self.stats.cache_hits += 1
+            return pending.value  # type: ignore[return-value]
+
+        try:
+            completion = self._inner.complete(prompt)
+        except BaseException as exc:
+            pending.error = exc
+            with self._lock:
+                self._in_flight.pop(key, None)
+            pending.event.set()
+            raise
+
         from repro.llm.prompts import task_name  # avoid import cycle at load
 
         try:
             task = task_name(prompt)
         except Exception:  # noqa: BLE001 - accounting must never fail a call
             task = "unknown"
-        self.stats.record(prompt, completion, task)
-        self._cache[key] = completion
+        pending.value = completion
+        with self._lock:
+            self.stats.record(prompt, completion, task)
+            self._cache[key] = completion
+            self._in_flight.pop(key, None)
+        pending.event.set()
         return completion
 
     def flush(self) -> None:
         """Persist the cache if a path was configured."""
         if self._cache_path:
             self._cache_path.parent.mkdir(parents=True, exist_ok=True)
-            self._cache_path.write_text(
-                json.dumps(self._cache, indent=0, sort_keys=True), "utf-8"
-            )
+            with self._lock:
+                payload = json.dumps(self._cache, indent=0, sort_keys=True)
+            self._cache_path.write_text(payload, "utf-8")
 
     def __len__(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)

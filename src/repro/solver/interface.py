@@ -6,6 +6,13 @@ constants, assert formulas, ``push``/``pop``, ``check-sat``, and
 grounded over the declared universe at check time.  All resource budgets
 convert to UNKNOWN results with an explanatory reason — the mechanism by
 which the paper's "solver timeouts" are observed rather than suffered.
+
+Thread ownership: a :class:`Solver` instance is single-thread-owned.  It
+carries mutable per-check state (assertion stack, persistent SAT core,
+grounding counters, statistics) with no internal locking; the concurrent
+batch engine (:meth:`repro.core.pipeline.PolicyPipeline.query_batch`)
+therefore builds a fresh instance per verification inside each worker and
+shares only the immutable :class:`SolverBudget` across threads.
 """
 
 from __future__ import annotations
@@ -42,7 +49,11 @@ class SolverBudget:
 
 
 class Solver:
-    """An incremental SMT solver over many-sorted ground/quantified FOL."""
+    """An incremental SMT solver over many-sorted ground/quantified FOL.
+
+    Not thread-safe: create one instance per worker (see the module
+    docstring for the ownership contract the batch query engine relies on).
+    """
 
     def __init__(
         self,

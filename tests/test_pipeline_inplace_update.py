@@ -101,3 +101,67 @@ class TestInPlaceUpdate:
         _patched, stats = pipeline.update(model, small_policy_text, in_place=True)
         assert stats.segments_reextracted == 0
         assert model.statistics.total_edges == edges_before
+
+
+class TestPatchBuildParity:
+    """Both update paths must index identical embedding-store entries.
+
+    Regression guard: the in-place path used to build edge text from raw
+    practice fields (missing derived ``receive`` edges), so a patched model
+    could translate and answer queries differently from a rebuilt one.
+    """
+
+    EDIT = (
+        "\nWe share your purchase history with marketing partners."
+        "\nWe collect your shoe size.\n"
+    )
+
+    def _models(self, small_policy_text):
+        edited = small_policy_text + self.EDIT
+        pipeline = PolicyPipeline()
+        rebuilt, _ = pipeline.update(pipeline.process(small_policy_text), edited)
+        patched, _ = pipeline.update(
+            pipeline.process(small_policy_text), edited, in_place=True
+        )
+        return pipeline, rebuilt, patched
+
+    def test_store_entries_identical(self, small_policy_text):
+        _pipeline, rebuilt, patched = self._models(small_policy_text)
+        assert set(patched.store.keys) == set(rebuilt.store.keys)
+        assert patched.node_vocabulary == rebuilt.node_vocabulary
+
+    def test_derived_receive_edge_text_indexed(self, small_policy_text):
+        from repro.embeddings.search import edge_text
+
+        _pipeline, rebuilt, patched = self._models(small_policy_text)
+        derived = [e for e in patched.graph.edges() if e.derived]
+        assert derived, "edit should materialize a derived receive edge"
+        for edge in derived:
+            key = edge_text(edge.source, edge.action, edge.target)
+            assert key in patched.store
+            assert key in rebuilt.store
+
+    def test_queries_answered_identically(self, small_policy_text):
+        pipeline, rebuilt, patched = self._models(small_policy_text)
+        questions = [
+            "Acme collects the shoe size.",
+            "Marketing partners receive the purchase history.",
+            "Acme shares the location information with advertisers.",
+            "Acme sells contact information to third parties.",
+        ]
+        for question in questions:
+            a = pipeline.query(rebuilt, question).as_dict()
+            b = pipeline.query(patched, question).as_dict()
+            assert a == b, f"divergent answers for {question!r}"
+
+    def test_removed_vocabulary_pruned_like_rebuild(self, small_policy_text):
+        pipeline = PolicyPipeline()
+        shortened = small_policy_text.replace(
+            "If you contact customer support, we collect your message content. ", ""
+        ).replace("We delete your message content after 90 days.", "")
+        rebuilt, _ = pipeline.update(pipeline.process(small_policy_text), shortened)
+        patched, _ = pipeline.update(
+            pipeline.process(small_policy_text), shortened, in_place=True
+        )
+        assert patched.node_vocabulary == rebuilt.node_vocabulary
+        assert "message content" not in patched.node_vocabulary
