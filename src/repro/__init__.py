@@ -26,6 +26,7 @@ Meta-scale policy corpora (:mod:`repro.corpus`).
 from repro.core.metrics import PipelineMetrics
 from repro.core.pipeline import (
     BatchOutcome,
+    ErrorOutcome,
     PipelineConfig,
     PolicyModel,
     PolicyPipeline,
@@ -34,6 +35,7 @@ from repro.core.pipeline import (
 )
 from repro.core.verify import Verdict, VerificationResult
 from repro.errors import ReproError
+from repro.resilience import BudgetLadder, DegradationReport
 from repro.solver.interface import SolverBudget
 
 __version__ = "1.0.0"
@@ -43,12 +45,15 @@ __all__ = [
     "PolicyModel",
     "PipelineConfig",
     "QueryOutcome",
+    "ErrorOutcome",
     "BatchOutcome",
     "PipelineMetrics",
     "UpdateStats",
     "Verdict",
     "VerificationResult",
     "SolverBudget",
+    "BudgetLadder",
+    "DegradationReport",
     "ReproError",
     "__version__",
 ]

@@ -55,8 +55,43 @@ def _cmd_process(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resilient_pipeline(args: argparse.Namespace) -> PolicyPipeline:
+    """A pipeline with the LLM boundary wrapped and the ladder armed."""
+    from repro.core.pipeline import PipelineConfig
+    from repro.llm.client import CachedLLM, UsageStats
+    from repro.llm.simulated import SimulatedLLM
+    from repro.resilience import BudgetLadder, CircuitBreaker, RetryingLLM, RetryPolicy
+
+    stats = UsageStats()
+    llm = CachedLLM(
+        CircuitBreaker(
+            RetryingLLM(
+                SimulatedLLM(),
+                RetryPolicy(max_retries=args.max_retries),
+                stats=stats,
+            ),
+            stats=stats,
+        )
+    )
+    try:
+        multipliers = tuple(
+            float(m) for m in args.ladder.split(",") if m.strip()
+        )
+    except ValueError:
+        raise ReproError(f"invalid --ladder value: {args.ladder!r}") from None
+    try:
+        ladder = BudgetLadder(
+            multipliers=multipliers, decompose=not args.no_decompose
+        )
+    except ValueError as exc:
+        raise ReproError(f"invalid --ladder value: {exc}") from None
+    return PolicyPipeline(llm=llm, config=PipelineConfig(budget_ladder=ladder))
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    pipeline = PolicyPipeline()
+    pipeline = (
+        _resilient_pipeline(args) if args.resilient else PolicyPipeline()
+    )
     model = pipeline.process(_read_policy(args.policy))
     outcome = pipeline.query(model, args.question)
     print(outcome.summary())
@@ -67,8 +102,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print("\n--- pipeline metrics ---")
         print(outcome.metrics.render())
     # Exit code communicates the verdict for scripting: 0 valid, 1 invalid,
-    # 2 unknown.
-    return {"VALID": 0, "INVALID": 1, "UNKNOWN": 2}[outcome.verdict.value]
+    # 2 unknown (3 is reserved for errors, matching ErrorOutcome batches).
+    return {"VALID": 0, "INVALID": 1, "UNKNOWN": 2, "ERROR": 3}[
+        outcome.verdict.value
+    ]
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -139,6 +176,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print per-stage wall times, cache counters, and solver totals",
+    )
+    p.add_argument(
+        "--resilient",
+        action="store_true",
+        help="wrap the LLM in retry + circuit-breaker layers and escalate "
+        "budget-limited UNKNOWN verdicts through the degradation ladder",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retry budget per LLM completion with --resilient (default: 2)",
+    )
+    p.add_argument(
+        "--ladder",
+        default="4,16",
+        help="comma-separated budget-escalation multipliers for the "
+        "degradation ladder with --resilient (default: 4,16)",
+    )
+    p.add_argument(
+        "--no-decompose",
+        action="store_true",
+        help="disable the per-data-branch decomposition rung of the ladder",
     )
     p.set_defaults(func=_cmd_query)
 

@@ -33,6 +33,12 @@ class PipelineMetrics:
     verification_misses: int = 0
     solver_conflicts: int = 0
     solver_propagations: int = 0
+    translation_fallbacks: int = 0  # terms kept verbatim for lack of a match
+    query_errors: int = 0  # queries isolated as ErrorOutcome in a batch
+    degraded_queries: int = 0  # queries that entered the degradation ladder
+    ladder_escalations: int = 0  # budget-escalation rungs executed
+    ladder_decompositions: int = 0  # decomposition rungs executed
+    ladder_rescues: int = 0  # degraded queries that reached a decided verdict
 
     @property
     def cache_hits(self) -> int:
@@ -87,6 +93,12 @@ class PipelineMetrics:
             f"{self.verification_misses} misses",
             f"solver: {self.solver_conflicts} conflicts, "
             f"{self.solver_propagations} propagations",
+            f"resilience: {self.query_errors} errors, "
+            f"{self.degraded_queries} degraded "
+            f"({self.ladder_rescues} rescued via "
+            f"{self.ladder_escalations} escalations / "
+            f"{self.ladder_decompositions} decompositions), "
+            f"{self.translation_fallbacks} translation fallbacks",
         ]
         return "\n".join(lines)
 

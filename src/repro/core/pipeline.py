@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
@@ -39,6 +40,7 @@ from repro.core.subgraph import Subgraph, extract_subgraph, subgraph_cache_key
 from repro.core.translation import TranslationResult, translate_query_terms
 from repro.core.verify import (
     VerificationResult,
+    Verdict,
     compile_script_text,
     verification_cache_key,
     verify_encoded,
@@ -50,9 +52,35 @@ from repro.errors import QueryError
 from repro.llm.client import CachedLLM, LLMClient
 from repro.llm.simulated import SimulatedLLM
 from repro.llm.tasks import TaskRunner
+from repro.resilience.degradation import (
+    BudgetLadder,
+    DegradationReport,
+    execute_ladder,
+    is_budget_limited,
+)
 from repro.solver.interface import SolverBudget
 
 DEFAULT_BATCH_WORKERS = 8
+
+
+@contextmanager
+def _stage(name: str):
+    """Tag exceptions escaping a Phase 3 stage for batch fault isolation.
+
+    The first stage to see an exception wins (an exception re-raised
+    through outer stages keeps its original tag), so an
+    :class:`ErrorOutcome` can report where a query died without the
+    pipeline threading stage state through every call.
+    """
+    try:
+        yield
+    except BaseException as exc:
+        if getattr(exc, "pipeline_stage", None) is None:
+            try:
+                exc.pipeline_stage = name
+            except Exception:  # noqa: BLE001 - tagging must never mask the error
+                pass
+        raise
 
 
 @dataclass(slots=True)
@@ -69,6 +97,12 @@ class PipelineConfig:
     solver_budget: SolverBudget = field(default_factory=SolverBudget)
     max_subgraph_edges: int | None = None
     enable_query_caches: bool = True  # per-model Phase 3 memoization
+    # Degradation ladder for budget-limited UNKNOWN verdicts; None disables
+    # it (the default keeps query traces byte-identical to prior releases).
+    budget_ladder: BudgetLadder | None = None
+    # Raise TranslationError for terms with no embedding candidate at all
+    # instead of silently keeping the raw term.
+    strict_translation: bool = False
 
 
 @dataclass(slots=True)
@@ -117,10 +151,16 @@ class QueryOutcome:
     encoded: EncodedQuery
     verification: VerificationResult
     metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
+    degradation: DegradationReport | None = None
 
     @property
     def verdict(self):
         return self.verification.verdict
+
+    @property
+    def failed(self) -> bool:
+        """False: this query produced a verdict (see :class:`ErrorOutcome`)."""
+        return False
 
     def summary(self) -> str:
         lines = [f"query: {self.question}"]
@@ -133,6 +173,8 @@ class QueryOutcome:
             )
         lines.append(f"relevant subgraph: {self.subgraph.num_edges} edges")
         lines.append(self.verification.summary())
+        if self.degradation is not None:
+            lines.append(self.degradation.summary())
         return "\n".join(lines)
 
     def as_dict(self, *, include_metrics: bool = False) -> dict[str, object]:
@@ -156,6 +198,53 @@ class QueryOutcome:
             "policy_formulas": self.encoded.num_policy_formulas,
             "verification": self.verification.as_dict(),
         }
+        if self.degradation is not None:
+            trace["degradation"] = self.degradation.as_dict()
+        if include_metrics:
+            trace["metrics"] = self.metrics.as_dict()
+        return trace
+
+
+@dataclass(slots=True)
+class ErrorOutcome:
+    """Structured failure record for one query in a fault-isolated batch.
+
+    Takes a :class:`QueryOutcome`'s place in
+    :class:`BatchOutcome.outcomes` when that query raised: the batch keeps
+    its order and its other verdicts, and the failure is reduced to what a
+    caller can act on — which question, which pipeline stage, which
+    exception.
+    """
+
+    question: str
+    stage: str
+    error_type: str
+    message: str
+    metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
+
+    @property
+    def verdict(self) -> Verdict:
+        return Verdict.ERROR
+
+    @property
+    def failed(self) -> bool:
+        return True
+
+    def summary(self) -> str:
+        return (
+            f"query: {self.question}\n"
+            f"ERROR in {self.stage} stage: {self.error_type}: {self.message}"
+        )
+
+    def as_dict(self, *, include_metrics: bool = False) -> dict[str, object]:
+        trace: dict[str, object] = {
+            "question": self.question,
+            "error": {
+                "stage": self.stage,
+                "type": self.error_type,
+                "message": self.message,
+            },
+        }
         if include_metrics:
             trace["metrics"] = self.metrics.as_dict()
         return trace
@@ -169,7 +258,7 @@ class BatchOutcome:
     is the sum of every query's :class:`PipelineMetrics`.
     """
 
-    outcomes: list[QueryOutcome]
+    outcomes: list[QueryOutcome | ErrorOutcome]
     metrics: PipelineMetrics
     seconds: float
     max_workers: int
@@ -184,6 +273,16 @@ class BatchOutcome:
     def verdicts(self):
         return [o.verdict for o in self.outcomes]
 
+    @property
+    def errors(self) -> list[ErrorOutcome]:
+        """The fault-isolated failures, in input order."""
+        return [o for o in self.outcomes if isinstance(o, ErrorOutcome)]
+
+    @property
+    def succeeded(self) -> list[QueryOutcome]:
+        """The queries that produced a verdict, in input order."""
+        return [o for o in self.outcomes if isinstance(o, QueryOutcome)]
+
     def verdict_counts(self) -> dict[str, int]:
         counts: dict[str, int] = {}
         for outcome in self.outcomes:
@@ -195,16 +294,21 @@ class BatchOutcome:
         counts = ", ".join(
             f"{n} {v}" for v, n in sorted(self.verdict_counts().items())
         )
-        return (
+        line = (
             f"{len(self.outcomes)} queries in {self.seconds:.2f}s "
             f"({self.max_workers} workers): {counts or 'no verdicts'}; "
             f"cache hit rate {self.metrics.hit_rate:.1%} "
             f"({self.metrics.cache_hits} hits / {self.metrics.cache_misses} misses)"
         )
+        errors = self.errors
+        if errors:
+            line += f"; {len(errors)} isolated failures"
+        return line
 
     def as_dict(self) -> dict[str, object]:
         return {
             "queries": len(self.outcomes),
+            "errors": len(self.errors),
             "seconds": round(self.seconds, 6),
             "max_workers": self.max_workers,
             "verdicts": self.verdict_counts(),
@@ -222,7 +326,10 @@ class PolicyPipeline:
         embedding_model: EmbeddingModel | None = None,
         config: PipelineConfig | None = None,
     ) -> None:
-        self.llm = llm or CachedLLM(SimulatedLLM())
+        # Explicit None check: CachedLLM reports its entry count via
+        # __len__, so a freshly-constructed (empty) wrapper is falsy and
+        # `llm or default` would silently discard it.
+        self.llm = llm if llm is not None else CachedLLM(SimulatedLLM())
         self.runner = TaskRunner(self.llm)
         self.embedding_model = embedding_model or EmbeddingModel()
         self.config = config or PipelineConfig()
@@ -411,7 +518,13 @@ class PolicyPipeline:
     # Phase 3
     # ------------------------------------------------------------------
 
-    def query(self, model: PolicyModel, question: str) -> QueryOutcome:
+    def query(
+        self,
+        model: PolicyModel,
+        question: str,
+        *,
+        budget: SolverBudget | None = None,
+    ) -> QueryOutcome:
         """Verify a data-practice question against the model.
 
         Accepts both declarative statements ("TikTak collects the email.")
@@ -421,6 +534,12 @@ class PolicyPipeline:
         ``PipelineConfig.enable_query_caches=False``); the attached
         :class:`PipelineMetrics` records per-stage wall time, cache
         hits/misses, and solver work.
+
+        ``budget`` overrides ``PipelineConfig.solver_budget`` for this one
+        query.  When ``PipelineConfig.budget_ladder`` is set and the
+        verification comes back UNKNOWN for budget reasons, the ladder
+        escalates (and, failing that, decomposes) before answering; the
+        attempt trail is attached as :attr:`QueryOutcome.degradation`.
         """
         from repro.core.questions import is_question, normalize_question
 
@@ -428,16 +547,17 @@ class PolicyPipeline:
         caches = model.caches if self.config.enable_query_caches else None
         started = time.perf_counter()
 
-        normalized = question
-        if is_question(question):
-            normalized = normalize_question(question)
-        resolved = self.runner.resolve_coreferences(normalized, model.company)
-        candidates = self.runner.extract_parameters(resolved, model.company)
-        if not candidates:
-            raise QueryError(
-                f"could not extract a data practice from query: {question!r}"
-            )
-        params = candidates[0]
+        with _stage("parse"):
+            normalized = question
+            if is_question(question):
+                normalized = normalize_question(question)
+            resolved = self.runner.resolve_coreferences(normalized, model.company)
+            candidates = self.runner.extract_parameters(resolved, model.company)
+            if not candidates:
+                raise QueryError(
+                    f"could not extract a data practice from query: {question!r}"
+                )
+            params = candidates[0]
         metrics.parse_seconds = time.perf_counter() - started
 
         stage = time.perf_counter()
@@ -446,17 +566,19 @@ class PolicyPipeline:
             terms.append(params.sender)
         if params.receiver:
             terms.append(params.receiver)
-        translations = translate_query_terms(
-            self.runner,
-            model.store,
-            terms,
-            vocabulary=model.node_vocabulary,
-            k=self.config.top_k,
-            min_similarity=self.config.min_similarity,
-            cache=caches,
-            revision=model.revision,
-            metrics=metrics,
-        )
+        with _stage("translate"):
+            translations = translate_query_terms(
+                self.runner,
+                model.store,
+                terms,
+                vocabulary=model.node_vocabulary,
+                k=self.config.top_k,
+                min_similarity=self.config.min_similarity,
+                cache=caches,
+                revision=model.revision,
+                metrics=metrics,
+                strict=self.config.strict_translation,
+            )
         metrics.translate_seconds = time.perf_counter() - stage
 
         def translated(term: str | None) -> str | None:
@@ -478,20 +600,53 @@ class PolicyPipeline:
         )
 
         stage = time.perf_counter()
-        subgraph = self._relevant_subgraph(model, translated_params, caches, metrics)
+        with _stage("subgraph"):
+            subgraph = self._relevant_subgraph(
+                model, translated_params, caches, metrics
+            )
         metrics.subgraph_seconds = time.perf_counter() - stage
 
         stage = time.perf_counter()
-        encoded = encode_query(
-            subgraph,
-            translated_params,
-            include_hierarchy_axioms=self.config.include_hierarchy_axioms,
-            simplify_formulas=self.config.simplify_formulas,
-        )
+        with _stage("encode"):
+            encoded = encode_query(
+                subgraph,
+                translated_params,
+                include_hierarchy_axioms=self.config.include_hierarchy_axioms,
+                simplify_formulas=self.config.simplify_formulas,
+            )
         metrics.encode_seconds = time.perf_counter() - stage
 
         stage = time.perf_counter()
-        verification = self._verify(encoded, caches, metrics)
+        effective_budget = (
+            budget if budget is not None else self.config.solver_budget
+        )
+        degradation: DegradationReport | None = None
+        with _stage("verify"):
+            verification = self._verify(
+                encoded, caches, metrics, budget=effective_budget
+            )
+            ladder = self.config.budget_ladder
+            if ladder is not None and is_budget_limited(verification):
+                verification, degradation = execute_ladder(
+                    subgraph,
+                    translated_params,
+                    verification,
+                    ladder=ladder,
+                    base_budget=effective_budget,
+                    encoded=encoded,
+                    include_hierarchy_axioms=self.config.include_hierarchy_axioms,
+                    simplify_formulas=self.config.simplify_formulas,
+                    via_smtlib=self.config.use_smtlib_roundtrip,
+                    check_conditional=self.config.check_conditional,
+                    verify=lambda enc, b: self._verify(
+                        enc, caches, metrics, budget=b
+                    ),
+                )
+                metrics.degraded_queries += 1
+                metrics.ladder_escalations += degradation.escalations
+                metrics.ladder_decompositions += degradation.decompositions
+                if degradation.rescued:
+                    metrics.ladder_rescues += 1
         metrics.verify_seconds = time.perf_counter() - stage
         metrics.total_seconds = time.perf_counter() - started
 
@@ -502,6 +657,7 @@ class PolicyPipeline:
             encoded=encoded,
             verification=verification,
             metrics=metrics,
+            degradation=degradation,
         )
 
     def _relevant_subgraph(
@@ -543,18 +699,24 @@ class PolicyPipeline:
         encoded: EncodedQuery,
         caches: ModelCaches | None,
         metrics: PipelineMetrics,
+        *,
+        budget: SolverBudget | None = None,
     ) -> VerificationResult:
         """Verify (or reuse) an encoded query.
 
         Each miss builds fresh :class:`~repro.solver.interface.Solver`
         instances inside :func:`verify_encoded`, so concurrent workers
         never share solver state; hits skip the solver entirely and are
-        not counted in the solver totals.
+        not counted in the solver totals.  The cache key embeds ``budget``,
+        so results obtained under escalated (or starved) budgets never
+        answer for the default one.
         """
+        if budget is None:
+            budget = self.config.solver_budget
         script_text = compile_script_text(encoded)
         key = verification_cache_key(
             script_text,
-            self.config.solver_budget,
+            budget,
             via_smtlib=self.config.use_smtlib_roundtrip,
             check_conditional=self.config.check_conditional,
         )
@@ -565,7 +727,7 @@ class PolicyPipeline:
                 return hit
         verification = verify_encoded(
             encoded,
-            budget=self.config.solver_budget,
+            budget=budget,
             via_smtlib=self.config.use_smtlib_roundtrip,
             check_conditional=self.config.check_conditional,
             script_text=script_text,
@@ -584,6 +746,7 @@ class PolicyPipeline:
         questions: Iterable[str],
         *,
         max_workers: int | None = None,
+        isolate_faults: bool = True,
     ) -> BatchOutcome:
         """Verify many questions against one model concurrently.
 
@@ -593,18 +756,41 @@ class PolicyPipeline:
         caches and the thread-safe substrates, and every stage is
         deterministic.  ``max_workers`` defaults to
         ``min(DEFAULT_BATCH_WORKERS, len(questions))``.
+
+        With ``isolate_faults=True`` (the default) a query that raises is
+        converted into an :class:`ErrorOutcome` in its input slot — naming
+        the failing stage and exception — instead of aborting the executor
+        and discarding the verdicts of every other query.  Pass
+        ``isolate_faults=False`` to re-raise the first failure instead.
         """
         questions = list(questions)
         if max_workers is None:
             max_workers = min(DEFAULT_BATCH_WORKERS, max(1, len(questions)))
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+
+        def run(q: str) -> QueryOutcome | ErrorOutcome:
+            if not isolate_faults:
+                return self.query(model, q)
+            try:
+                return self.query(model, q)
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                error_metrics = PipelineMetrics()
+                error_metrics.query_errors = 1
+                return ErrorOutcome(
+                    question=q,
+                    stage=getattr(exc, "pipeline_stage", None) or "query",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    metrics=error_metrics,
+                )
+
         started = time.perf_counter()
         if max_workers == 1 or len(questions) <= 1:
-            outcomes = [self.query(model, q) for q in questions]
+            outcomes = [run(q) for q in questions]
         else:
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                outcomes = list(pool.map(lambda q: self.query(model, q), questions))
+                outcomes = list(pool.map(run, questions))
         return BatchOutcome(
             outcomes=outcomes,
             metrics=merged([o.metrics for o in outcomes]),

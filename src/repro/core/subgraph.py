@@ -10,6 +10,7 @@ existing hierarchy with local traversal — no reconstruction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.graphs import PolicyGraph, PracticeEdge
 
@@ -56,6 +57,77 @@ def subgraph_cache_key(
         max_edges,
         revision,
     )
+
+
+def split_components(subgraph: Subgraph) -> list[Subgraph]:
+    """Partition a subgraph into independent data-branch components.
+
+    Two practice edges land in the same component when their data terms are
+    connected — directly (same term) or through the subgraph's hierarchy
+    edges (same taxonomy branch).  Entity nodes are deliberately *not*
+    connectors: the policy's own organization appears as the sender of
+    nearly every edge, so entity connectivity would collapse everything
+    into one component, while data-branch connectivity mirrors how the
+    paper decomposes compound statements into per-data-type edges.
+
+    Each component carries its own slice of the hierarchy edges, so
+    per-component encoding re-grounds only that branch's inheritance
+    axioms — the mechanism by which the degradation ladder shrinks a
+    policy-sized solver problem back to query size.  Every edge of the
+    input appears in exactly one component; components are ordered largest
+    first (ties broken by smallest data term) so the split is
+    deterministic.
+    """
+    parent: dict[str, str] = {}
+
+    def find(term: str) -> str:
+        parent.setdefault(term, term)
+        while parent[term] != term:
+            parent[term] = parent[parent[term]]
+            term = parent[term]
+        return term
+
+    def union(a: str, b: str) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_a] = root_b
+
+    for parent_term, child_term in subgraph.hierarchy_edges:
+        union(parent_term, child_term)
+    for edge in subgraph.edges:
+        find(edge.target)
+
+    grouped: dict[str, Subgraph] = {}
+    for edge in subgraph.edges:
+        root = find(edge.target)
+        component = grouped.get(root)
+        if component is None:
+            component = grouped[root] = Subgraph()
+        component.edges.append(edge)
+        component.data_terms.add(edge.target)
+        component.entity_terms.add(edge.source)
+        if edge.receiver:
+            component.entity_terms.add(edge.receiver)
+    for parent_term, child_term in subgraph.hierarchy_edges:
+        component = grouped.get(find(parent_term))
+        if component is not None:
+            component.hierarchy_edges.append((parent_term, child_term))
+            component.data_terms.update((parent_term, child_term))
+    return sorted(
+        grouped.values(),
+        key=lambda c: (-c.num_edges, min(c.data_terms, default="")),
+    )
+
+
+def component_for_terms(
+    components: list[Subgraph], terms: Iterable[str]
+) -> Subgraph | None:
+    """The first component containing any of ``terms`` (lowered), if any."""
+    wanted = {t.lower() for t in terms if t}
+    for component in components:
+        if component.data_terms & wanted:
+            return component
+    return None
 
 
 def extract_subgraph(

@@ -16,6 +16,7 @@ from repro.core.caches import MISS, ModelCaches
 from repro.core.metrics import PipelineMetrics
 from repro.embeddings.search import DEFAULT_TOP_K, top_k
 from repro.embeddings.store import EmbeddingStore
+from repro.errors import TranslationError
 from repro.llm.tasks import TaskRunner
 
 
@@ -31,6 +32,16 @@ class TranslationResult:
     @property
     def changed(self) -> bool:
         return self.original != self.translated
+
+    @property
+    def fell_back(self) -> bool:
+        """Did the term keep its raw form for lack of a confirmed match?"""
+        return not self.verified and self.original == self.translated
+
+    @property
+    def untranslatable(self) -> bool:
+        """No candidate cleared the similarity floor at all."""
+        return self.fell_back and self.similarity == 0.0
 
 
 def translate_term(
@@ -95,6 +106,7 @@ def translate_query_terms(
     cache: ModelCaches | None = None,
     revision: int = 0,
     metrics: PipelineMetrics | None = None,
+    strict: bool = False,
 ) -> dict[str, TranslationResult]:
     """Translate several query terms; returns a per-term result map.
 
@@ -102,32 +114,51 @@ def translate_query_terms(
     :func:`translation_cache_key` first; misses are computed and stored.
     :class:`TranslationResult` is frozen, so cached instances are safely
     shared across concurrent queries.
+
+    Terms that keep their raw form are counted in
+    ``metrics.translation_fallbacks``.  With ``strict=True``, terms with
+    *no* candidate above ``min_similarity`` raise
+    :class:`~repro.errors.TranslationError` (carrying every such term)
+    instead of silently falling back — cache hits included, so strictness
+    does not depend on cache temperature.
     """
     results: dict[str, TranslationResult] = {}
+    untranslatable: list[str] = []
     for term in terms:
         if not term or not term.strip():
             continue
         key = translation_cache_key(
             term, k=k, min_similarity=min_similarity, revision=revision
         )
+        result: TranslationResult | None = None
         if cache is not None:
             hit = cache.get("translation", key)
             if hit is not MISS:
                 if metrics is not None:
                     metrics.translation_hits += 1
-                results[term] = hit
-                continue
-        result = translate_term(
-            runner,
-            store,
-            term,
-            vocabulary=vocabulary,
-            k=k,
-            min_similarity=min_similarity,
-        )
-        if metrics is not None:
-            metrics.translation_misses += 1
-        if cache is not None:
-            cache.put("translation", key, result)
+                result = hit
+        if result is None:
+            result = translate_term(
+                runner,
+                store,
+                term,
+                vocabulary=vocabulary,
+                k=k,
+                min_similarity=min_similarity,
+            )
+            if metrics is not None:
+                metrics.translation_misses += 1
+            if cache is not None:
+                cache.put("translation", key, result)
+        if result.fell_back and metrics is not None:
+            metrics.translation_fallbacks += 1
+        if result.untranslatable:
+            untranslatable.append(result.original)
         results[term] = result
+    if strict and untranslatable:
+        raise TranslationError(
+            "no policy-vocabulary candidate above similarity "
+            f"{min_similarity:g} for: " + ", ".join(sorted(untranslatable)),
+            terms=tuple(sorted(untranslatable)),
+        )
     return results

@@ -35,6 +35,9 @@ class Verdict(enum.Enum):
     VALID = "VALID"
     INVALID = "INVALID"
     UNKNOWN = "UNKNOWN"
+    # Not a solver outcome: the verdict of a fault-isolated batch query
+    # whose pipeline raised (see repro.core.pipeline.ErrorOutcome).
+    ERROR = "ERROR"
 
     def __str__(self) -> str:
         return self.value

@@ -24,6 +24,19 @@ class QueryError(ReproError):
     """Phase 3 could not interpret or translate a user query."""
 
 
+class TranslationError(QueryError):
+    """Query terms could not be mapped into the policy vocabulary.
+
+    Raised by strict-mode translation when a term has no embedding
+    candidate above the similarity floor; ``terms`` carries every
+    untranslatable term so callers can report them all at once.
+    """
+
+    def __init__(self, message: str, terms: tuple[str, ...] = ()) -> None:
+        self.terms = tuple(terms)
+        super().__init__(message)
+
+
 class FOLError(ReproError):
     """An ill-formed first-order logic formula was constructed."""
 
@@ -64,6 +77,19 @@ class LLMError(ReproError):
 
 class PromptError(LLMError):
     """A prompt template was rendered with missing or invalid fields."""
+
+
+class CircuitOpenError(LLMError):
+    """A completion was short-circuited by an open circuit breaker.
+
+    Raised without consulting the backend; distinct from other
+    :class:`LLMError` subclasses so retry policies can refuse to retry it
+    (retrying an open circuit only burns the cooldown).
+    """
+
+
+class InjectedFaultError(LLMError):
+    """A deterministic fault raised by the test-only fault injector."""
 
 
 class CorpusError(ReproError):

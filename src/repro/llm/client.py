@@ -8,9 +8,13 @@ talks to GPT-4o-mini.  A production deployment would implement
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
+import os
+import tempfile
 import threading
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Protocol, runtime_checkable
@@ -38,6 +42,10 @@ class UsageStats:
     prompt_tokens: int = 0
     completion_tokens: int = 0
     cache_hits: int = 0
+    retries: int = 0  # failed attempts that were retried
+    retry_giveups: int = 0  # completions abandoned after the retry budget
+    breaker_opens: int = 0  # closed/half-open -> open transitions
+    breaker_short_circuits: int = 0  # calls rejected without reaching the backend
     calls_by_task: dict[str, int] = field(default_factory=dict)
 
     def record(self, prompt: str, completion: str, task: str) -> None:
@@ -52,6 +60,10 @@ class UsageStats:
             "prompt_tokens": self.prompt_tokens,
             "completion_tokens": self.completion_tokens,
             "cache_hits": self.cache_hits,
+            "retries": self.retries,
+            "retry_giveups": self.retry_giveups,
+            "breaker_opens": self.breaker_opens,
+            "breaker_short_circuits": self.breaker_short_circuits,
             "calls_by_task": dict(self.calls_by_task),
         }
 
@@ -100,7 +112,36 @@ class CachedLLM:
         self._cache_path = Path(cache_path) if cache_path else None
         self.stats = UsageStats()
         if self._cache_path and self._cache_path.exists():
-            self._cache = json.loads(self._cache_path.read_text("utf-8"))
+            self._cache = self._load_persisted(self._cache_path)
+
+    @staticmethod
+    def _load_persisted(path: Path) -> dict[str, str]:
+        """Load a persisted cache, tolerating corrupt or truncated files.
+
+        A cache is an optimization: a file that cannot be parsed (killed
+        mid-write by a pre-atomic-flush crash, disk corruption, concurrent
+        clobbering) must degrade to a cold start, never fail construction.
+        """
+        try:
+            loaded = json.loads(path.read_text("utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            warnings.warn(
+                f"ignoring unreadable LLM cache {path}: {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return {}
+        if not isinstance(loaded, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in loaded.items()
+        ):
+            warnings.warn(
+                f"ignoring malformed LLM cache {path}: expected a JSON object "
+                "of string completions",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return {}
+        return loaded
 
     def complete(self, prompt: str) -> str:
         key = prompt_fingerprint(prompt)
@@ -146,12 +187,29 @@ class CachedLLM:
         return completion
 
     def flush(self) -> None:
-        """Persist the cache if a path was configured."""
-        if self._cache_path:
-            self._cache_path.parent.mkdir(parents=True, exist_ok=True)
-            with self._lock:
-                payload = json.dumps(self._cache, indent=0, sort_keys=True)
-            self._cache_path.write_text(payload, "utf-8")
+        """Persist the cache if a path was configured.
+
+        The write is atomic: the payload goes to a temporary file in the
+        destination directory and is moved into place with ``os.replace``,
+        so a crash mid-flush leaves either the old cache or the new one,
+        never a truncated hybrid.
+        """
+        if not self._cache_path:
+            return
+        self._cache_path.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            payload = json.dumps(self._cache, indent=0, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=self._cache_path.name + ".", dir=self._cache_path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self._cache_path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
 
     def __len__(self) -> int:
         with self._lock:

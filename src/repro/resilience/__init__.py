@@ -1,0 +1,47 @@
+"""Resilience layer: retries, circuit breaking, and verdict degradation.
+
+Production-scale policy analysis only survives contact with real traffic
+when failures are contained and partial results are first-class.  This
+package provides the three containment mechanisms the pipeline threads
+through its layers:
+
+* the **LLM boundary** — :class:`RetryPolicy` / :class:`RetryingLLM`
+  (bounded deterministic backoff) and :class:`CircuitBreaker` (fail fast
+  once the backend is down), both implementing
+  :class:`~repro.llm.client.LLMClient` and composable with
+  :class:`~repro.llm.client.CachedLLM`;
+* the **solver boundary** — :class:`BudgetLadder` /
+  :func:`execute_ladder`, which escalates budget-limited UNKNOWN verdicts
+  and falls back to per-data-branch decomposition, reporting every step in
+  a :class:`DegradationReport`;
+* the **batch boundary** — fault isolation lives in
+  :meth:`repro.core.pipeline.PolicyPipeline.query_batch`, which converts
+  per-query failures into structured
+  :class:`~repro.core.pipeline.ErrorOutcome` records instead of aborting
+  the executor.
+
+Deterministic fault injectors for chaos testing live in
+:mod:`repro.resilience.faults` (imported explicitly, not re-exported here —
+they are test infrastructure).
+"""
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.degradation import (
+    BudgetLadder,
+    DegradationReport,
+    DegradationStep,
+    execute_ladder,
+    is_budget_limited,
+)
+from repro.resilience.retry import RetryingLLM, RetryPolicy
+
+__all__ = [
+    "BudgetLadder",
+    "CircuitBreaker",
+    "DegradationReport",
+    "DegradationStep",
+    "RetryPolicy",
+    "RetryingLLM",
+    "execute_ladder",
+    "is_budget_limited",
+]

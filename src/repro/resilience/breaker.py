@@ -1,0 +1,113 @@
+"""Circuit breaker for the LLM boundary.
+
+When the completion backend fails repeatedly, continuing to call it slows
+every query down by the full timeout-and-retry cost and can pile worker
+threads up behind a dead socket.  :class:`CircuitBreaker` implements the
+classic three-state automaton around any
+:class:`~repro.llm.client.LLMClient`:
+
+* **closed** — calls pass through; consecutive failures are counted;
+* **open** — calls are rejected immediately with
+  :class:`~repro.errors.CircuitOpenError` (a short-circuit);
+* **half-open** — after the cooldown, a single probe call is admitted;
+  success closes the circuit, failure re-opens it.
+
+The cooldown is measured in *rejected calls* rather than wall-clock time,
+which keeps the automaton fully deterministic for the fault-injection
+suite (and independent of how fast the batch executor drains its queue).
+A wall-clock cooldown can be layered on by passing ``cooldown_calls=0``
+and wrapping ``complete`` — the states and counters stay the same.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import CircuitOpenError
+from repro.llm.client import LLMClient, UsageStats
+
+_CLOSED = "closed"
+_OPEN = "open"
+_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-rate gate implementing :class:`~repro.llm.client.LLMClient`.
+
+    Thread-safe: state transitions are lock-guarded, and in the half-open
+    state exactly one thread wins the probe while the rest keep
+    short-circuiting until it resolves.
+
+    Composes with the other wrappers as
+    ``CachedLLM(CircuitBreaker(RetryingLLM(backend)))`` — the cache keeps
+    hits from touching the breaker at all, and the breaker counts one
+    strike per exhausted retry budget rather than per raw attempt.
+    """
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        *,
+        failure_threshold: int = 5,
+        cooldown_calls: int = 10,
+        stats: UsageStats | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_calls < 0:
+            raise ValueError("cooldown_calls must be >= 0")
+        self._inner = inner
+        self.failure_threshold = failure_threshold
+        self.cooldown_calls = cooldown_calls
+        self.stats = stats if stats is not None else UsageStats()
+        self._lock = threading.Lock()
+        self._state = _CLOSED
+        self._consecutive_failures = 0
+        self._rejections_since_open = 0
+        self._probe_in_flight = False
+
+    @property
+    def state(self) -> str:
+        """Current automaton state: ``closed``, ``open``, or ``half-open``."""
+        with self._lock:
+            return self._state
+
+    def complete(self, prompt: str) -> str:
+        with self._lock:
+            if self._state == _OPEN:
+                if self._rejections_since_open >= self.cooldown_calls:
+                    self._state = _HALF_OPEN
+                else:
+                    self._rejections_since_open += 1
+                    self.stats.breaker_short_circuits += 1
+                    raise CircuitOpenError(
+                        "circuit open after "
+                        f"{self._consecutive_failures} consecutive failures"
+                    )
+            if self._state == _HALF_OPEN:
+                if self._probe_in_flight:
+                    self.stats.breaker_short_circuits += 1
+                    raise CircuitOpenError("circuit half-open, probe in flight")
+                self._probe_in_flight = True
+
+        try:
+            completion = self._inner.complete(prompt)
+        except BaseException:  # noqa: BLE001 - any backend failure is a strike
+            with self._lock:
+                self._probe_in_flight = False
+                self._consecutive_failures += 1
+                if (
+                    self._state == _HALF_OPEN
+                    or self._consecutive_failures >= self.failure_threshold
+                ):
+                    if self._state != _OPEN:
+                        self.stats.breaker_opens += 1
+                    self._state = _OPEN
+                    self._rejections_since_open = 0
+            raise
+
+        with self._lock:
+            self._probe_in_flight = False
+            self._consecutive_failures = 0
+            self._state = _CLOSED
+        return completion

@@ -1,0 +1,118 @@
+"""Bounded, deterministic retries for the LLM boundary.
+
+A production deployment talks to a remote completion API, where transient
+failures (timeouts, rate limits, connection resets) are routine.
+:class:`RetryingLLM` wraps any :class:`~repro.llm.client.LLMClient` and
+replays failed completions on a bounded exponential-backoff schedule.
+
+The schedule is jitter-free on purpose: the tests that hammer the batch
+engine with injected faults must observe the exact same retry sequence on
+every run, and the paper's pipeline is otherwise fully deterministic.  A
+deployment that needs jitter can pass a custom ``sleep`` that adds it at
+the boundary without perturbing the policy itself.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import CircuitOpenError, LLMError
+from repro.llm.client import LLMClient, UsageStats
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """When and how often a failed completion is retried.
+
+    ``max_retries`` counts *additional* attempts after the first, so a
+    policy with ``max_retries=2`` issues at most three calls.  Delays grow
+    geometrically from ``base_delay_seconds`` by ``backoff_multiplier`` and
+    are capped at ``max_delay_seconds`` — no jitter, see the module
+    docstring.
+    """
+
+    max_retries: int = 2
+    base_delay_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_delay_seconds: float = 2.0
+    retryable: tuple[type[BaseException], ...] = (
+        LLMError,
+        ConnectionError,
+        TimeoutError,
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay_seconds < 0 or self.max_delay_seconds < 0:
+            raise ValueError("delays must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+
+    def delay_schedule(self) -> tuple[float, ...]:
+        """The deterministic sleep before each retry, in order."""
+        delays = []
+        delay = self.base_delay_seconds
+        for _ in range(self.max_retries):
+            delays.append(min(delay, self.max_delay_seconds))
+            delay *= self.backoff_multiplier
+        return tuple(delays)
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Should ``exc`` be retried?
+
+        Open-circuit rejections are never retryable: the breaker has
+        already decided the backend is down, and hammering it from inside
+        the retry loop would defeat the cooldown.
+        """
+        if isinstance(exc, CircuitOpenError):
+            return False
+        return isinstance(exc, self.retryable)
+
+
+class RetryingLLM:
+    """Retry wrapper implementing :class:`~repro.llm.client.LLMClient`.
+
+    Composes freely with the other wrappers: under
+    :class:`~repro.llm.client.CachedLLM` so only genuine backend calls are
+    retried, and under :class:`~repro.resilience.breaker.CircuitBreaker` so
+    the breaker observes post-retry failures (one exhausted retry budget is
+    one breaker strike, not three).
+
+    ``stats`` may be shared with other wrappers to aggregate counters in
+    one :class:`~repro.llm.client.UsageStats`; ``sleep`` is injectable so
+    tests can run the full backoff schedule without waiting on it.
+    """
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        policy: RetryPolicy | None = None,
+        *,
+        stats: UsageStats | None = None,
+        sleep=time.sleep,
+    ) -> None:
+        self._inner = inner
+        self.policy = policy or RetryPolicy()
+        self.stats = stats if stats is not None else UsageStats()
+        self._sleep = sleep
+        self._lock = threading.Lock()
+
+    def complete(self, prompt: str) -> str:
+        delays = self.policy.delay_schedule()
+        for attempt in range(self.policy.max_retries + 1):
+            try:
+                return self._inner.complete(prompt)
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                if not self.policy.is_retryable(exc):
+                    raise
+                if attempt == self.policy.max_retries:
+                    with self._lock:
+                        self.stats.retry_giveups += 1
+                    raise
+                with self._lock:
+                    self.stats.retries += 1
+                self._sleep(delays[attempt])
+        raise AssertionError("unreachable")  # pragma: no cover

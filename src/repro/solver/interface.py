@@ -47,6 +47,30 @@ class SolverBudget:
     max_ground_instances: int | None = 200_000
     timeout_seconds: float | None = 10.0
 
+    def scaled(self, factor: float) -> "SolverBudget":
+        """A budget with every finite limit multiplied by ``factor``.
+
+        Disabled limits (``None``) stay disabled.  This is the escalation
+        primitive of the degradation ladder: UNKNOWN-with-budget-reason
+        queries are re-checked at 4x, 16x, ... of their original budget.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be > 0")
+
+        def scale_int(value: int | None) -> int | None:
+            return None if value is None else max(1, int(value * factor))
+
+        return SolverBudget(
+            max_conflicts=scale_int(self.max_conflicts),
+            max_propagations=scale_int(self.max_propagations),
+            max_ground_instances=scale_int(self.max_ground_instances),
+            timeout_seconds=(
+                None
+                if self.timeout_seconds is None
+                else self.timeout_seconds * factor
+            ),
+        )
+
 
 class Solver:
     """An incremental SMT solver over many-sorted ground/quantified FOL.

@@ -1,0 +1,174 @@
+"""Chaos suite: batch verification under injected faults.
+
+Drives ``query_batch`` over a 24-question suite while a seeded
+:class:`FaultInjectingLLM` kills ~30% of completions and a
+:class:`BudgetStarvingPipeline` starves the solver for two questions.
+The batch must complete without raising, convert exactly the affected
+queries into ERROR/degraded outcomes, and keep every unaffected query's
+trace byte-identical to a fault-free run — at every worker count.
+
+All faults are content-keyed (prompt hashes, question text), never
+call-order-keyed, so the affected set is a property of the suite, not of
+thread scheduling.  Marked ``chaos``: run with ``pytest -m chaos``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import PolicyPipeline, Verdict
+from repro.core.pipeline import ErrorOutcome
+from repro.llm.client import CachedLLM
+from repro.llm.simulated import SimulatedLLM
+from repro.resilience import RetryingLLM, RetryPolicy, is_budget_limited
+from repro.resilience.faults import BudgetStarvingPipeline, FaultInjectingLLM
+
+pytestmark = pytest.mark.chaos
+
+DISTINCT_QUERIES = [
+    "Acme collects the email address.",
+    "Acme collects the phone number.",
+    "Does Acme collect my name?",
+    "Acme shares the usage information with analytics providers.",
+    "Acme shares the location information with advertisers.",
+    "Acme sells the contact information.",
+    "Law enforcement receives the personal information.",
+    "Acme collects the message content.",
+]
+QUERY_SUITE = DISTINCT_QUERIES * 3  # 24 queries, repeats share prompts
+
+FAULT_RATE = 0.3
+# Chosen so the injected faults land on some queries but not on the two
+# starved ones (designation is a pure function of seed and prompt text,
+# so this is stable, not flaky).
+FAULT_SEED = 6
+STARVED_QUESTIONS = (
+    "Does Acme collect my name?",
+    "Acme sells the contact information.",
+)
+WORKER_COUNTS = (1, 4, 8)
+
+
+def _trace(outcome) -> str:
+    return json.dumps(outcome.as_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def baseline(small_policy_text):
+    """Fault-free traces per question, from a sequential query loop."""
+    pipeline = PolicyPipeline()
+    model = pipeline.process(small_policy_text)
+    return {q: _trace(pipeline.query(model, q)) for q in DISTINCT_QUERIES}
+
+
+def _chaos_batch(small_policy_text, *, max_workers, failures_per_prompt=None):
+    """One chaos run: fresh injector, fresh model, fresh caches."""
+    injector = FaultInjectingLLM(
+        SimulatedLLM(),
+        rate=FAULT_RATE,
+        seed=FAULT_SEED,
+        failures_per_prompt=failures_per_prompt,
+    )
+    pipeline = BudgetStarvingPipeline(
+        llm=CachedLLM(injector),
+        starve_questions=STARVED_QUESTIONS,
+    )
+    model = PolicyPipeline().process(small_policy_text)
+    batch = pipeline.query_batch(model, QUERY_SUITE, max_workers=max_workers)
+    return batch, injector
+
+
+class TestChaosBatch:
+    def test_suite_is_large_enough(self):
+        assert len(QUERY_SUITE) >= 20
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_batch_survives_and_isolates_faults(
+        self, small_policy_text, baseline, workers
+    ):
+        batch, injector = _chaos_batch(small_policy_text, max_workers=workers)
+
+        # Completed without raising, order preserved.
+        assert [o.question for o in batch.outcomes] == QUERY_SUITE
+        assert injector.faults_injected > 0
+
+        error_questions = {o.question for o in batch.errors}
+        assert error_questions, "the chosen seed must fault at least one query"
+        assert len(error_questions) < len(DISTINCT_QUERIES)
+        # The starved queries must remain distinguishable from LLM faults.
+        assert error_questions.isdisjoint(STARVED_QUESTIONS)
+
+        for outcome in batch.outcomes:
+            if isinstance(outcome, ErrorOutcome):
+                assert outcome.error_type == "InjectedFaultError"
+                assert outcome.stage == "parse"
+            elif outcome.question in STARVED_QUESTIONS:
+                # Degraded, not failed: structured UNKNOWN with a budget
+                # reason (the paper's solver-timeout case).
+                assert outcome.verdict is Verdict.UNKNOWN
+                assert is_budget_limited(outcome.verification)
+            else:
+                # Unaffected: byte-identical to the fault-free run.
+                assert _trace(outcome) == baseline[outcome.question]
+
+        assert batch.metrics.query_errors == len(batch.errors)
+
+    def test_affected_set_is_identical_across_worker_counts(
+        self, small_policy_text
+    ):
+        runs = [
+            _chaos_batch(small_policy_text, max_workers=w)[0]
+            for w in WORKER_COUNTS
+        ]
+        reference = runs[0]
+        ref_errors = [
+            (o.question, o.stage, o.error_type) for o in reference.errors
+        ]
+        ref_traces = [
+            _trace(o)
+            for o in reference.outcomes
+            if not isinstance(o, ErrorOutcome)
+        ]
+        for run in runs[1:]:
+            assert [
+                (o.question, o.stage, o.error_type) for o in run.errors
+            ] == ref_errors
+            assert [
+                _trace(o)
+                for o in run.outcomes
+                if not isinstance(o, ErrorOutcome)
+            ] == ref_traces
+            # Errors occupy the same input slots.
+            assert [
+                isinstance(o, ErrorOutcome) for o in run.outcomes
+            ] == [isinstance(o, ErrorOutcome) for o in reference.outcomes]
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_retries_rescue_transient_faults(
+        self, small_policy_text, baseline, workers
+    ):
+        """With faults lasting 2 attempts and a 2-retry budget, the same
+        chaos schedule produces zero errors and a fault-free trace."""
+        injector = FaultInjectingLLM(
+            SimulatedLLM(),
+            rate=FAULT_RATE,
+            seed=FAULT_SEED,
+            failures_per_prompt=2,
+        )
+        pipeline = PolicyPipeline(
+            llm=CachedLLM(
+                RetryingLLM(
+                    injector,
+                    RetryPolicy(max_retries=2),
+                    sleep=lambda _: None,
+                )
+            )
+        )
+        model = PolicyPipeline().process(small_policy_text)
+        batch = pipeline.query_batch(model, QUERY_SUITE, max_workers=workers)
+        assert batch.errors == []
+        assert injector.faults_injected > 0
+        for outcome in batch.outcomes:
+            assert _trace(outcome) == baseline[outcome.question]
