@@ -1,0 +1,76 @@
+"""A5 — warm start: loading a snapshot beats re-extracting the policy.
+
+The snapshot store exists so a restarted service does not pay Phase 1+2
+again.  This bench commits the TikTok- and Meta-scale models once, then
+compares a cold ``process()`` against ``SnapshotStore.load()`` (which
+includes journal recovery, hash verification of every artifact, and the
+structural replay).  Asserts the load wins on both corpora and that the
+loaded model is structurally audit-clean.
+"""
+
+import time
+
+from conftest import print_table
+
+from repro import PolicyPipeline
+from repro.corpus import metabook_policy, tiktak_policy
+from repro.store import SnapshotStore, audit_structure
+
+
+def test_a5_warm_start(tmp_path, benchmark):
+    corpora = [
+        ("tiktak", tiktak_policy().text),
+        ("metabook", metabook_policy().text),
+    ]
+    rows = []
+    speedups = []
+    stores = {}
+    for name, text in corpora:
+        cold = PolicyPipeline()
+        start = time.perf_counter()
+        model = cold.process(text)
+        process_seconds = time.perf_counter() - start
+
+        store = SnapshotStore(tmp_path / name)
+        start = time.perf_counter()
+        store.commit(model)
+        commit_seconds = time.perf_counter() - start
+        stores[name] = store
+
+        start = time.perf_counter()
+        result = store.load()
+        load_seconds = time.perf_counter() - start
+
+        assert result.clean
+        assert audit_structure(result.model).passed
+        assert len(result.model.graph.edges()) == len(model.graph.edges())
+
+        speedup = process_seconds / load_seconds
+        speedups.append((name, process_seconds, load_seconds, speedup))
+        rows.append(
+            [
+                name,
+                len(model.extraction.segments),
+                f"{process_seconds:.2f}",
+                f"{commit_seconds:.2f}",
+                f"{load_seconds:.2f}",
+                f"{speedup:.1f}x",
+            ]
+        )
+
+    print_table(
+        "A5: cold extraction vs snapshot warm start",
+        ["corpus", "segments", "process s", "commit s", "load s", "speedup"],
+        rows,
+    )
+
+    for name, process_seconds, load_seconds, speedup in speedups:
+        assert load_seconds < process_seconds, (
+            f"{name}: snapshot load ({load_seconds:.2f}s) should beat "
+            f"re-extraction ({process_seconds:.2f}s)"
+        )
+
+    # Steady-state warm start on the biggest corpus: verified load only.
+    benchmark.pedantic(
+        stores["tiktak"].load, rounds=3, warmup_rounds=1
+    )

@@ -34,9 +34,10 @@ from repro.core.pipeline import (
     UpdateStats,
 )
 from repro.core.verify import Verdict, VerificationResult
-from repro.errors import ReproError
+from repro.errors import ReproError, SnapshotError
 from repro.resilience import BudgetLadder, DegradationReport
 from repro.solver.interface import SolverBudget
+from repro.store import AuditReport, SnapshotStore
 
 __version__ = "1.0.0"
 
@@ -54,6 +55,9 @@ __all__ = [
     "SolverBudget",
     "BudgetLadder",
     "DegradationReport",
+    "SnapshotStore",
+    "AuditReport",
     "ReproError",
+    "SnapshotError",
     "__version__",
 ]

@@ -4,9 +4,13 @@ Usage (also available as ``python -m repro``)::
 
     repro-policy process POLICY.txt [--artifacts DIR]
     repro-policy query POLICY.txt "TikTak collects the email address." [--smtlib]
+    repro-policy query --from-snapshot DIR "TikTak collects the email address."
     repro-policy audit POLICY.txt
     repro-policy diff OLD.txt NEW.txt
     repro-policy corpus {tiktak,metabook,meditrack} [--out FILE]
+    repro-policy snapshot save POLICY.txt --store DIR
+    repro-policy snapshot load --store DIR
+    repro-policy snapshot audit --store DIR [--policy POLICY.txt] [--heal]
 
 Every command runs fully offline on the bundled substrates.
 """
@@ -27,7 +31,17 @@ from repro.analysis import (
     render_diff,
 )
 from repro.core.extraction import extract_policy
-from repro.errors import ReproError
+from repro.errors import ReproError, SnapshotError
+
+EXIT_CODES_EPILOG = """\
+exit codes:
+  0  success; for `query`: verdict VALID; for `audit`/`diff`: nothing found
+  1  for `query`: verdict INVALID; for `audit`/`diff`/`snapshot audit`: findings
+  2  for `query`: verdict UNKNOWN (solver budget or vague terms)
+  3  error (bad input, missing file, isolated query failure)
+  4  snapshot corruption: no hash-valid snapshot could be loaded
+     (corrupt snapshots are quarantined with a structured report)
+"""
 
 
 def _read_policy(path: str) -> str:
@@ -92,7 +106,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     pipeline = (
         _resilient_pipeline(args) if args.resilient else PolicyPipeline()
     )
-    model = pipeline.process(_read_policy(args.policy))
+    if args.from_snapshot:
+        model = pipeline.load_model(args.from_snapshot)
+    else:
+        model = pipeline.process(_read_policy(args.policy))
     outcome = pipeline.query(model, args.question)
     print(outcome.summary())
     if args.smtlib:
@@ -156,10 +173,73 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot_save(args: argparse.Namespace) -> int:
+    pipeline = PolicyPipeline()
+    model = pipeline.process(_read_policy(args.policy))
+    info = pipeline.save_model(model, args.store, journaled=args.journaled)
+    print(
+        f"committed {info.snapshot_id} (revision {info.revision}, "
+        f"company {info.company}) to {args.store}"
+    )
+    return 0
+
+
+def _cmd_snapshot_load(args: argparse.Namespace) -> int:
+    from repro.store import SnapshotStore
+
+    store = SnapshotStore(args.store)
+    result = store.load()
+    model = result.model
+    if result.journal_recovery:
+        print(f"journal recovery: {result.journal_recovery}")
+    for report in result.quarantined:
+        print(report.summary(), file=sys.stderr)
+    if result.fallback_from:
+        print(
+            f"fell back from corrupt {result.fallback_from} to {result.snapshot_id}",
+            file=sys.stderr,
+        )
+    print(f"loaded {result.snapshot_id} in {result.seconds:.3f}s")
+    print(f"company: {model.company} (revision {model.revision})")
+    print(f"segments: {len(model.extraction.segments)}")
+    print(f"practices: {model.extraction.num_practices}")
+    print(f"graph edges: {len(model.graph.edges())}")
+    print(f"vocabulary: {len(model.node_vocabulary)} terms")
+    return 0
+
+
+def _cmd_snapshot_audit(args: argparse.Namespace) -> int:
+    from repro.store import SnapshotStore, audit_parity, audit_structure, heal_model
+
+    store = SnapshotStore(args.store)
+    result = store.load()
+    model = result.model
+    report = audit_structure(model)
+    print(report.summary())
+    failed = not report.passed
+    if args.policy:
+        pipeline = PolicyPipeline()
+        rebuilt = pipeline.process(_read_policy(args.policy), company=model.company)
+        rebuilt.revision = model.revision
+        parity = audit_parity(model, rebuilt)
+        print(parity.summary())
+        if not parity.passed:
+            failed = True
+            if args.heal:
+                heal_model(model, rebuilt)
+                info = store.commit_update(model)
+                print(f"healed and recommitted as {info.snapshot_id}")
+    elif args.heal:
+        raise ReproError("--heal requires --policy (the rebuild source)")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-policy",
         description="Privacy-policy extraction and verification (HotNets '25 reproduction)",
+        epilog=EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -168,9 +248,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--artifacts", help="directory for JSON pipeline artifacts")
     p.set_defaults(func=_cmd_process)
 
-    p = sub.add_parser("query", help="verify a data-practice question")
-    p.add_argument("policy", help="path to a policy text file")
-    p.add_argument("question", help='declarative query, e.g. "Acme collects the email."')
+    p = sub.add_parser(
+        "query",
+        help="verify a data-practice question",
+        epilog=EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument(
+        "policy",
+        nargs="?",
+        help="path to a policy text file (omit with --from-snapshot)",
+    )
+    p.add_argument(
+        "question",
+        nargs="?",
+        help='declarative query, e.g. "Acme collects the email."',
+    )
+    p.add_argument(
+        "--from-snapshot",
+        metavar="DIR",
+        help="warm-start the model from a snapshot store instead of "
+        "re-extracting from policy text",
+    )
     p.add_argument("--smtlib", action="store_true", help="print the generated SMT-LIB")
     p.add_argument(
         "--stats",
@@ -223,14 +322,82 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write to a file instead of stdout")
     p.set_defaults(func=_cmd_corpus)
 
+    p = sub.add_parser(
+        "snapshot", help="crash-safe model persistence (save / load / audit)"
+    )
+    snap = p.add_subparsers(dest="snapshot_command", required=True)
+
+    s = snap.add_parser(
+        "save", help="process a policy and commit it as a verified snapshot"
+    )
+    s.add_argument("policy", help="path to a policy text file")
+    s.add_argument("--store", required=True, help="snapshot store directory")
+    s.add_argument(
+        "--journaled",
+        action="store_true",
+        help="bracket the commit with the write-ahead update journal",
+    )
+    s.set_defaults(func=_cmd_snapshot_save)
+
+    s = snap.add_parser(
+        "load", help="load the newest hash-valid snapshot and print its stats"
+    )
+    s.add_argument("--store", required=True, help="snapshot store directory")
+    s.set_defaults(func=_cmd_snapshot_load)
+
+    s = snap.add_parser(
+        "audit",
+        help="verify structural invariants (and, with --policy, "
+        "incremental-vs-rebuild parity)",
+    )
+    s.add_argument("--store", required=True, help="snapshot store directory")
+    s.add_argument(
+        "--policy",
+        help="policy text to rebuild from for the parity audit",
+    )
+    s.add_argument(
+        "--heal",
+        action="store_true",
+        help="on parity failure, overwrite derived state with the rebuild "
+        "and recommit (requires --policy)",
+    )
+    s.set_defaults(func=_cmd_snapshot_audit)
+
     return parser
+
+
+def _normalize_query_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Resolve the optional ``policy`` positional for ``query``.
+
+    With ``--from-snapshot`` the policy file is omitted, so a lone
+    positional is the question: ``query --from-snapshot DIR "Q"``.
+    """
+    if getattr(args, "command", None) != "query":
+        return
+    if args.from_snapshot and args.question is None:
+        args.policy, args.question = None, args.policy
+    if args.question is None:
+        parser.error("query requires a question")
+    if args.from_snapshot and args.policy:
+        parser.error("give either a policy file or --from-snapshot, not both")
+    if not args.from_snapshot and not args.policy:
+        parser.error("query requires a policy file (or --from-snapshot DIR)")
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _normalize_query_args(parser, args)
     try:
         return args.func(args)
+    except SnapshotError as exc:
+        print(f"snapshot error: {exc}", file=sys.stderr)
+        reports = getattr(exc, "reports", ())
+        for report in reports:
+            print(report.summary(), file=sys.stderr)
+        return 4
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 3

@@ -157,6 +157,17 @@ class PolicyGraph:
         for practice in practices:
             self.add_practice(practice)
 
+    def restore_edge(self, edge: PracticeEdge) -> None:
+        """Re-materialize a previously serialized edge verbatim.
+
+        The snapshot-load path replays edges (primary *and* derived) in
+        their original insertion order instead of re-deriving them from
+        practices, so a round-tripped graph is structurally identical to
+        the one that was saved — including segment provenance, which keeps
+        :meth:`remove_segment` working after a warm start.
+        """
+        self._add_edge(edge)
+
     def remove_segment(self, segment_id: str) -> int:
         """Drop every edge contributed by ``segment_id``; prune orphan nodes.
 

@@ -39,6 +39,16 @@ class PipelineMetrics:
     ladder_escalations: int = 0  # budget-escalation rungs executed
     ladder_decompositions: int = 0  # decomposition rungs executed
     ladder_rescues: int = 0  # degraded queries that reached a decided verdict
+    # Model-store accounting (tracked on PolicyPipeline.metrics, which
+    # covers the pipeline's whole lifetime rather than one query).
+    snapshot_saves: int = 0  # snapshots committed through save_model
+    snapshot_loads: int = 0  # warm starts served from a snapshot
+    snapshot_quarantines: int = 0  # corrupt snapshots quarantined during loads
+    snapshot_rebuilds: int = 0  # loads that fell back to policy-text re-extraction
+    snapshot_journal_recoveries: int = 0  # journal roll-forward/back events
+    audits_run: int = 0  # structural/parity audits executed
+    audit_failures: int = 0  # audits that reported findings
+    audit_heals: int = 0  # models auto-healed after a failed parity audit
 
     @property
     def cache_hits(self) -> int:
@@ -99,6 +109,12 @@ class PipelineMetrics:
             f"{self.ladder_escalations} escalations / "
             f"{self.ladder_decompositions} decompositions), "
             f"{self.translation_fallbacks} translation fallbacks",
+            f"store: {self.snapshot_saves} saves, {self.snapshot_loads} loads "
+            f"({self.snapshot_quarantines} quarantined, "
+            f"{self.snapshot_rebuilds} rebuilt, "
+            f"{self.snapshot_journal_recoveries} journal recoveries); "
+            f"audits: {self.audits_run} run, {self.audit_failures} failed, "
+            f"{self.audit_heals} healed",
         ]
         return "\n".join(lines)
 

@@ -21,7 +21,6 @@ points.
 
 from __future__ import annotations
 
-import json
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
@@ -103,6 +102,12 @@ class PipelineConfig:
     # Raise TranslationError for terms with no embedding candidate at all
     # instead of silently keeping the raw term.
     strict_translation: bool = False
+    # After every update(in_place=True), run the incremental-vs-rebuild
+    # parity audit (repro.store.audit) and attach its report to the
+    # UpdateStats; with auto_heal, a failed audit replaces the patched
+    # state with the rebuild instead of letting drift reach queries.
+    audit_updates: bool = False
+    auto_heal: bool = False
 
 
 @dataclass(slots=True)
@@ -133,6 +138,10 @@ class UpdateStats:
     segments_reextracted: int = 0
     segments_removed: int = 0
     seconds: float = 0.0
+    audited: bool = False  # parity audit ran (PipelineConfig.audit_updates)
+    audit_findings: int = 0
+    healed: bool = False  # drift found and auto-healed from the rebuild
+    audit_report: object | None = None  # repro.store.audit.AuditReport
 
     @property
     def reuse_fraction(self) -> float:
@@ -333,6 +342,9 @@ class PolicyPipeline:
         self.runner = TaskRunner(self.llm)
         self.embedding_model = embedding_model or EmbeddingModel()
         self.config = config or PipelineConfig()
+        # Pipeline-lifetime accounting for model-store and audit events
+        # (per-query metrics ride on each QueryOutcome instead).
+        self.metrics = PipelineMetrics(queries=0)
 
     # ------------------------------------------------------------------
     # Phases 1 + 2
@@ -466,17 +478,43 @@ class PolicyPipeline:
             segments_reused=len(diff.unchanged),
             segments_reextracted=len(diff.added),
             segments_removed=len(diff.removed),
-            seconds=time.monotonic() - start,
         )
+        if in_place and self.config.audit_updates:
+            self._audit_update(new_model, extraction, stats)
+        stats.seconds = time.monotonic() - start
         return new_model, stats
+
+    def _audit_update(self, model: PolicyModel, extraction, stats: UpdateStats) -> None:
+        """Parity-check a patched model against a from-scratch rebuild.
+
+        The rebuild reuses the (fully cached) extraction, so its cost is
+        taxonomy induction plus re-indexing — no LLM re-extraction.  On a
+        failed audit with ``PipelineConfig.auto_heal``, the rebuild
+        *replaces* the patched state in place, so drift never reaches a
+        query.
+        """
+        from repro.store.audit import audit_parity, heal_model
+
+        rebuilt = self._build_model(extraction)
+        rebuilt.revision = model.revision
+        report = audit_parity(model, rebuilt)
+        stats.audited = True
+        stats.audit_report = report
+        stats.audit_findings = len(report.findings)
+        self.metrics.audits_run += 1
+        if not report.passed:
+            self.metrics.audit_failures += 1
+            if self.config.auto_heal:
+                heal_model(model, rebuilt)
+                stats.healed = True
+                self.metrics.audit_heals += 1
 
     def _patch_model(
         self, model: PolicyModel, extraction: ExtractionResult, diff
     ) -> PolicyModel:
         """Mutate ``model`` to reflect a new extraction incrementally."""
-        from repro.core.hierarchy import extend_taxonomy
-
         graph = model.graph
+        nodes_before = set(graph.graph.nodes)
         for segment in diff.removed:
             graph.remove_segment(segment.segment_id)
 
@@ -484,24 +522,22 @@ class PolicyPipeline:
         new_practices = [
             p for p in extraction.practices if p.segment_id in added_ids
         ]
-        # Place genuinely new vocabulary before adding edges so closure
-        # queries see consistent hierarchies.
         candidate_graph = PolicyGraph(model.company)
         candidate_graph.add_practices(new_practices)
-        new_data, new_entities = [], []
-        for node, attrs in candidate_graph.graph.nodes(data=True):
-            if node in graph.graph:
-                continue
-            if attrs.get("kind") == NODE_DATA:
-                new_data.append(node)
-            elif attrs.get("kind") == NODE_ENTITY:
-                new_entities.append(node)
-        if new_data:
-            extend_taxonomy(self.runner, model.data_taxonomy, new_data)
-        if new_entities:
-            extend_taxonomy(self.runner, model.entity_taxonomy, new_entities)
-
         graph.add_practices(new_practices)
+
+        # Chain-of-Layer placement is context-dependent: a term's parent can
+        # change when *other* vocabulary enters or leaves (e.g. "usage
+        # information" reparents under a newly disclosed "usage data"), and
+        # removed terms would otherwise linger in the hierarchy forever.  So
+        # whenever the node set changed at all, both taxonomies are re-induced
+        # over the merged vocabulary — the prompts run through the cached LLM,
+        # so unchanged layers cost no completions — which keeps a patched
+        # model's hierarchies identical (as edge sets) to a from-scratch
+        # rebuild's.  Segment re-extraction, the expensive phase, stays
+        # incremental.
+        if set(graph.graph.nodes) != nodes_before:
+            self._rebuild_taxonomies(model)
         # The candidate graph materialized the same edges (primary and
         # derived) the main graph just gained, so indexing it keeps the
         # store identical to what a fresh build would produce.
@@ -513,6 +549,43 @@ class PolicyPipeline:
         model.node_vocabulary.intersection_update(graph.graph.nodes)
         model.extraction = extraction
         return model
+
+    def _rebuild_taxonomies(self, model: PolicyModel) -> None:
+        """Re-induce both hierarchies over the model's current vocabulary.
+
+        The graph holds references to the taxonomy objects (closure queries
+        go through them), so both the model fields and the graph fields are
+        re-pointed together.
+        """
+        entities = [
+            n
+            for n, attrs in model.graph.graph.nodes(data=True)
+            if attrs.get("kind") == NODE_ENTITY
+        ]
+        data_types = [
+            n
+            for n, attrs in model.graph.graph.nodes(data=True)
+            if attrs.get("kind") == NODE_DATA
+        ]
+        similarity_model = (
+            self.embedding_model if self.config.col_similarity_threshold > 0 else None
+        )
+        model.data_taxonomy = chain_of_layer(
+            self.runner,
+            data_types,
+            "data",
+            similarity_model=similarity_model,
+            similarity_threshold=self.config.col_similarity_threshold,
+        )
+        model.entity_taxonomy = chain_of_layer(
+            self.runner,
+            entities,
+            "entity",
+            similarity_model=similarity_model,
+            similarity_threshold=self.config.col_similarity_threshold,
+        )
+        model.graph.data_taxonomy = model.data_taxonomy
+        model.graph.entity_taxonomy = model.entity_taxonomy
 
     # ------------------------------------------------------------------
     # Phase 3
@@ -803,40 +876,97 @@ class PolicyPipeline:
     # ------------------------------------------------------------------
 
     def save_artifacts(self, model: PolicyModel, directory: str | Path) -> None:
-        """Write inspectable JSON artifacts for every pipeline stage."""
+        """Write inspectable JSON artifacts for every pipeline stage.
+
+        Every file goes through the atomic writer (temp file + fsync +
+        rename), so re-dumping over an existing artifact directory can
+        never leave a truncated JSON file behind, no matter where a crash
+        lands.  For durable, hash-verified, *loadable* persistence use
+        :meth:`save_model` instead — this dump is for human inspection.
+        """
+        from repro.store.atomic import atomic_write_json, atomic_write_text
+
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        (directory / "segments.json").write_text(
-            json.dumps(
-                [
-                    {
-                        "segment_id": s.segment_id,
-                        "index": s.index,
-                        "section": s.section,
-                        "text": s.text,
-                    }
-                    for s in model.extraction.segments
-                ],
-                indent=1,
-            ),
-            "utf-8",
+        atomic_write_json(
+            directory / "segments.json",
+            [
+                {
+                    "segment_id": s.segment_id,
+                    "index": s.index,
+                    "section": s.section,
+                    "text": s.text,
+                }
+                for s in model.extraction.segments
+            ],
         )
-        (directory / "practices.json").write_text(
-            json.dumps(
-                [p.as_dict() for p in model.extraction.practices], indent=1
-            ),
-            "utf-8",
+        atomic_write_json(
+            directory / "practices.json",
+            [p.as_dict() for p in model.extraction.practices],
         )
-        (directory / "data_taxonomy.json").write_text(
-            json.dumps(model.data_taxonomy.as_edges(), indent=1), "utf-8"
+        atomic_write_json(
+            directory / "data_taxonomy.json", model.data_taxonomy.as_edges()
         )
-        (directory / "entity_taxonomy.json").write_text(
-            json.dumps(model.entity_taxonomy.as_edges(), indent=1), "utf-8"
+        atomic_write_json(
+            directory / "entity_taxonomy.json", model.entity_taxonomy.as_edges()
         )
-        (directory / "graph_stats.json").write_text(
-            json.dumps(model.statistics.as_dict(), indent=1), "utf-8"
+        atomic_write_json(
+            directory / "graph_stats.json", model.statistics.as_dict()
         )
-        (directory / "graph.dot").write_text(
-            model.graph.to_dot(max_edges=500), "utf-8"
+        atomic_write_text(
+            directory / "graph.dot", model.graph.to_dot(max_edges=500)
         )
         model.store.save(directory / "embeddings.npz")
+
+    def save_model(
+        self, model: PolicyModel, directory: str | Path, *, journaled: bool = False
+    ):
+        """Commit ``model`` to the crash-safe snapshot store at ``directory``.
+
+        With ``journaled=True`` the commit is bracketed by the write-ahead
+        journal (use after :meth:`update` so a crash recovers to exactly
+        the pre- or post-update snapshot).  Returns the
+        :class:`~repro.store.snapshot.SnapshotInfo` of the new snapshot.
+        """
+        from repro.store.snapshot import SnapshotStore
+
+        store = SnapshotStore(directory)
+        info = store.commit_update(model) if journaled else store.commit(model)
+        self.metrics.snapshot_saves += 1
+        return info
+
+    def load_model(
+        self,
+        directory: str | Path,
+        *,
+        policy_text: str | None = None,
+        company: str | None = None,
+    ) -> PolicyModel:
+        """Warm-start a model from the snapshot store at ``directory``.
+
+        Every artifact is hash-verified against the snapshot manifest;
+        corrupt snapshots are quarantined and the newest valid one wins.
+        When no valid snapshot survives (or none was ever committed) and
+        ``policy_text`` is given, the model is rebuilt from scratch and
+        re-committed so the next start is warm again; without
+        ``policy_text`` the :class:`~repro.errors.SnapshotError` escapes.
+        """
+        from repro.errors import SnapshotError
+        from repro.store.snapshot import SnapshotStore
+
+        store = SnapshotStore(directory)
+        try:
+            result = store.load()
+        except SnapshotError:
+            if policy_text is None:
+                raise
+            model = self.process(policy_text, company=company)
+            store.commit(model)
+            self.metrics.snapshot_rebuilds += 1
+            self.metrics.snapshot_saves += 1
+            return model
+        self.metrics.snapshot_loads += 1
+        self.metrics.snapshot_quarantines += len(result.quarantined)
+        if result.journal_recovery is not None:
+            self.metrics.snapshot_journal_recoveries += 1
+        return result.model

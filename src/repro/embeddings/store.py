@@ -14,6 +14,9 @@ yields identical vectors and only one wins the insert.
 
 from __future__ import annotations
 
+import io
+import os
+import tempfile
 import threading
 from pathlib import Path
 
@@ -95,23 +98,60 @@ class EmbeddingStore:
         with self._lock:
             return list(self._keys), self.matrix()
 
-    def save(self, path: str | Path) -> None:
-        """Persist keys and vectors to an ``.npz`` file."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
+    def to_bytes(self) -> bytes:
+        """Serialize keys and vectors to ``.npz`` bytes (snapshot payload)."""
+        buffer = io.BytesIO()
         keys, matrix = self.snapshot()
         np.savez_compressed(
-            path,
+            buffer,
             keys=np.array(keys, dtype=object),
             matrix=matrix,
             model_name=np.array(self.model.name),
             dim=np.array(self.model.dim),
         )
+        return buffer.getvalue()
+
+    def save(self, path: str | Path) -> None:
+        """Persist keys and vectors to an ``.npz`` file, atomically.
+
+        The payload lands in a temporary file in the destination directory
+        and is renamed into place, so an existing store file is either
+        fully replaced or left untouched — never truncated by a crash
+        mid-write.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = self.to_bytes()
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def from_bytes(
+        cls, payload: bytes, model: EmbeddingModel | None = None
+    ) -> "EmbeddingStore":
+        """Reconstruct a store from :meth:`to_bytes` output."""
+        return cls._from_npz(np.load(io.BytesIO(payload), allow_pickle=True), model)
 
     @classmethod
     def load(cls, path: str | Path, model: EmbeddingModel | None = None) -> "EmbeddingStore":
         """Load a store persisted by :meth:`save`."""
-        data = np.load(Path(path), allow_pickle=True)
+        return cls._from_npz(np.load(Path(path), allow_pickle=True), model)
+
+    @classmethod
+    def _from_npz(cls, data, model: EmbeddingModel | None) -> "EmbeddingStore":
         store = cls(model or EmbeddingModel(dim=int(data["dim"]), name=str(data["model_name"])))
         keys = [str(k) for k in data["keys"]]
         matrix = data["matrix"]

@@ -94,3 +94,24 @@ class InjectedFaultError(LLMError):
 
 class CorpusError(ReproError):
     """A bundled or generated policy could not be produced."""
+
+
+class SnapshotError(ReproError):
+    """Base class for model-store persistence failures."""
+
+
+class SnapshotNotFoundError(SnapshotError):
+    """No committed snapshot exists in the store directory."""
+
+
+class SnapshotCorruptionError(SnapshotError):
+    """No hash-valid snapshot could be loaded from the store.
+
+    Raised only after every candidate snapshot failed verification and was
+    quarantined; ``reports`` carries the structured quarantine records so
+    callers can surface *what* was corrupt, not just that loading failed.
+    """
+
+    def __init__(self, message: str, reports: tuple = ()) -> None:
+        self.reports = tuple(reports)
+        super().__init__(message)

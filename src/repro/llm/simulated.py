@@ -238,11 +238,13 @@ def _sender_from_region(region: str, company: str) -> str | None:
         candidates.append((match.start(), company))
     for entity in ENTITY_TERMS:
         for match in re.finditer(r"\b" + re.escape(entity) + r"\b", lowered):
-            # Longer entity phrases win ties at the same position.
             candidates.append((match.start() + len(entity) - 1, entity))
     if not candidates:
         return None
-    return max(candidates, key=lambda c: c[0])[1]
+    # Last mention wins; at the same end position the longer phrase wins
+    # ("content moderators" over "moderators"), with an alphabetical
+    # tiebreak so the result never depends on set iteration order.
+    return max(candidates, key=lambda c: (c[0], len(c[1]), c[1]))[1]
 
 
 _RECEIVER_SPLIT_RE = re.compile(r"\b(?:with|to)\s+", re.IGNORECASE)
@@ -275,7 +277,10 @@ def _receiver_in_region(region: str, company: str) -> tuple[str | None, str]:
         return None, region
     data_region, complement = split
     lowered = complement.lower()
-    for entity in sorted(ENTITY_TERMS, key=len, reverse=True):
+    # Longest first, ties broken alphabetically: ENTITY_TERMS is a set, so
+    # a bare key=len would leave equal-length ties to hash-randomized
+    # iteration order and extraction would differ across processes.
+    for entity in sorted(ENTITY_TERMS, key=lambda e: (-len(e), e)):
         if re.search(r"\b" + re.escape(entity) + r"\b", lowered):
             return entity, data_region
     if re.search(r"\b(?:you|your|users?)\b", lowered):
@@ -540,7 +545,9 @@ def _suffix_parent(term: str, candidates: set[str]) -> str | None:
             or (same_head and set(cwords) < set(words))
             or (stripped != lowered and stripped == cand)
         ):
-            if best is None or len(cand) > len(best):
+            # Longest candidate wins; alphabetical tiebreak keeps the
+            # choice independent of set iteration (hash) order.
+            if best is None or (len(cand), cand) > (len(best), best):
                 best = cand
     return best
 

@@ -259,7 +259,8 @@ def find_receiver(clause: str) -> str | None:
     ):
         return None
     best: str | None = None
-    for entity in sorted(ENTITY_TERMS, key=len, reverse=True):
+    # Deterministic tiebreak over the frozenset (see _receiver_in_region).
+    for entity in sorted(ENTITY_TERMS, key=lambda e: (-len(e), e)):
         if re.search(r"\b" + re.escape(entity) + r"\b", lowered):
             best = entity
             break

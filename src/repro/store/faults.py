@@ -1,0 +1,83 @@
+"""Deterministic crash injection for the snapshot commit protocol.
+
+The store's durable operations report named steps through the
+:data:`~repro.store.atomic.StepHook` seam (``serialize``, ``stage_dir``,
+``write:<artifact>``, ``rename_snapshot``, ``publish_current``,
+``journal_begin``, ``journal_clear``, ...).  :class:`CrashInjector`
+raises :class:`SimulatedCrash` the moment a designated step completes,
+which models a process kill at that exact boundary: everything up to and
+including the step has reached disk, nothing after it has.
+
+:func:`record_steps` runs a commit once with a recording injector to
+*enumerate* the schedule, so the crash suite can parametrize over every
+boundary without hard-coding the protocol — adding a step to the commit
+path automatically adds a kill point to the matrix.
+
+Test infrastructure, not production code: nothing in the store imports
+this module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class SimulatedCrash(BaseException):
+    """A simulated process kill inside the commit protocol.
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so
+    no ``except Exception`` cleanup path in the code under test can
+    swallow it and keep writing — a real ``kill -9`` cannot be caught
+    either.
+    """
+
+    def __init__(self, step: str) -> None:
+        self.step = step
+        super().__init__(f"simulated crash at step {step!r}")
+
+
+class CrashInjector:
+    """Step hook that records the schedule and optionally kills one step.
+
+    Args:
+        crash_at: step name to crash on, or ``None`` to only record.
+        occurrence: crash on the Nth (1-based) time ``crash_at`` fires —
+            steps like ``write:CURRENT`` can occur more than once per
+            protocol run.
+    """
+
+    def __init__(self, crash_at: str | None = None, *, occurrence: int = 1) -> None:
+        self.crash_at = crash_at
+        self.occurrence = occurrence
+        self.steps: list[str] = []
+
+    def __call__(self, name: str) -> None:
+        self.steps.append(name)
+        if name == self.crash_at:
+            if self.steps.count(name) == self.occurrence:
+                raise SimulatedCrash(name)
+
+
+def record_steps(operation: Callable[[CrashInjector], object]) -> list[str]:
+    """Run ``operation`` with a recording injector; return its step schedule.
+
+    ``operation`` receives the injector and must thread it into the store
+    under test as the ``step`` hook.
+    """
+    injector = CrashInjector()
+    operation(injector)
+    return list(injector.steps)
+
+
+def kill_points(schedule: list[str]) -> list[tuple[str, int]]:
+    """Expand a recorded schedule into (step, occurrence) kill coordinates.
+
+    Repeated step names get one coordinate per firing, so a matrix built
+    from this covers *every* boundary in the schedule exactly once.
+    """
+    seen: dict[str, int] = {}
+    points: list[tuple[str, int]] = []
+    for name in schedule:
+        seen[name] = seen.get(name, 0) + 1
+        points.append((name, seen[name]))
+    return points

@@ -95,3 +95,82 @@ class TestCorpus:
     def test_unknown_corpus_rejected(self):
         with pytest.raises(SystemExit):
             main(["corpus", "bogus"])
+
+
+class TestSnapshot:
+    def test_save_then_load(self, policy_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["snapshot", "save", policy_file, "--store", store]) == 0
+        assert "committed snap-000001" in capsys.readouterr().out
+        assert main(["snapshot", "load", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "loaded snap-000001" in out
+        assert "company: Acme" in out
+
+    def test_load_missing_store_exit_four(self, tmp_path, capsys):
+        code = main(["snapshot", "load", "--store", str(tmp_path / "nope")])
+        assert code == 4
+        assert "snapshot error:" in capsys.readouterr().err
+
+    def test_corrupt_store_exit_four_with_report(
+        self, policy_file, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        main(["snapshot", "save", policy_file, "--store", str(store)])
+        capsys.readouterr()
+        (store / "snapshots" / "snap-000001" / "graph.json").write_bytes(b"~")
+        code = main(["snapshot", "load", "--store", str(store)])
+        err = capsys.readouterr().err
+        assert code == 4
+        assert "quarantined snap-000001" in err
+
+    def test_audit_clean_store_exit_zero(self, policy_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["snapshot", "save", policy_file, "--store", store])
+        code = main(
+            ["snapshot", "audit", "--store", store, "--policy", policy_file]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "structure audit: PASS" in out
+        assert "parity audit: PASS" in out
+
+    def test_audit_heal_requires_policy(self, policy_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["snapshot", "save", policy_file, "--store", store])
+        code = main(["snapshot", "audit", "--store", store, "--heal"])
+        assert code == 3
+        assert "--heal requires --policy" in capsys.readouterr().err
+
+    def test_query_from_snapshot(self, policy_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["snapshot", "save", policy_file, "--store", store])
+        capsys.readouterr()
+        code = main(
+            ["query", "--from-snapshot", store, "Acme collects the name."]
+        )
+        assert code == 0
+        assert "verdict: VALID" in capsys.readouterr().out
+
+    def test_query_rejects_both_sources(self, policy_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query",
+                    policy_file,
+                    "Acme collects the name.",
+                    "--from-snapshot",
+                    str(tmp_path),
+                ]
+            )
+
+    def test_query_requires_some_source(self):
+        with pytest.raises(SystemExit):
+            main(["query", "Acme collects the name."])
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "exit codes:" in out
+        assert "4  snapshot corruption" in out

@@ -107,6 +107,45 @@ class TestEmbeddingStore:
         assert loaded.keys == store.keys
         assert np.allclose(loaded.matrix(), store.matrix())
 
+    def test_save_load_empty_store(self, model, tmp_path):
+        store = EmbeddingStore(model)
+        path = tmp_path / "empty.npz"
+        store.save(path)
+        loaded = EmbeddingStore.load(path)
+        assert loaded.keys == []
+        assert len(loaded) == 0
+        assert loaded.matrix().shape == (0, model.dim)
+
+    def test_save_overwrites_existing_file(self, model, tmp_path):
+        path = tmp_path / "store.npz"
+        first = EmbeddingStore(model)
+        first.add_many(["email", "phone number", "location"])
+        first.save(path)
+        second = EmbeddingStore(model)
+        second.add("cookie")
+        second.save(path)
+        loaded = EmbeddingStore.load(path)
+        assert loaded.keys == ["cookie"]
+
+    def test_save_leaves_no_temp_files(self, model, tmp_path):
+        store = EmbeddingStore(model)
+        store.add("email")
+        store.save(tmp_path / "store.npz")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["store.npz"]
+
+    def test_bytes_round_trip(self, model):
+        store = EmbeddingStore(model)
+        store.add_many(["email", "location"])
+        clone = EmbeddingStore.from_bytes(store.to_bytes())
+        assert clone.keys == store.keys
+        assert np.allclose(clone.matrix(), store.matrix())
+
+    def test_from_bytes_reuses_supplied_model(self, model):
+        store = EmbeddingStore(model)
+        store.add("email")
+        clone = EmbeddingStore.from_bytes(store.to_bytes(), model=model)
+        assert clone.model is model
+
 
 class TestTopK:
     def test_exact_match_ranks_first(self, model):

@@ -19,6 +19,7 @@ _PACKAGES = [
     "repro.corpus",
     "repro.core",
     "repro.analysis",
+    "repro.store",
 ]
 
 
