@@ -41,6 +41,9 @@ exit codes:
   3  error (bad input, missing file, isolated query failure)
   4  snapshot corruption: no hash-valid snapshot could be loaded
      (corrupt snapshots are quarantined with a structured report)
+  5  certification failure: the solver produced an answer its independent
+     checker could not reproduce (soundness alarm; verdict demoted to
+     UNKNOWN, offending formula quarantined with --quarantine)
 """
 
 
@@ -103,9 +106,15 @@ def _resilient_pipeline(args: argparse.Namespace) -> PolicyPipeline:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.core.verify import is_certification_failure
+
     pipeline = (
         _resilient_pipeline(args) if args.resilient else PolicyPipeline()
     )
+    if args.certify is not None:
+        pipeline.config.certify = args.certify
+    if args.quarantine:
+        pipeline.config.certification_quarantine_dir = args.quarantine
     if args.from_snapshot:
         model = pipeline.load_model(args.from_snapshot)
     else:
@@ -119,7 +128,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print("\n--- pipeline metrics ---")
         print(outcome.metrics.render())
     # Exit code communicates the verdict for scripting: 0 valid, 1 invalid,
-    # 2 unknown (3 is reserved for errors, matching ErrorOutcome batches).
+    # 2 unknown (3 is reserved for errors, matching ErrorOutcome batches;
+    # 5 flags the certification soundness alarm, a special UNKNOWN).
+    if is_certification_failure(outcome.verification):
+        return 5
     return {"VALID": 0, "INVALID": 1, "UNKNOWN": 2, "ERROR": 3}[
         outcome.verdict.value
     ]
@@ -298,6 +310,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-decompose",
         action="store_true",
         help="disable the per-data-branch decomposition rung of the ladder",
+    )
+    p.add_argument(
+        "--certify",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="independently re-check the solver's verdict (model evaluation "
+        "for SAT, proof replay for UNSAT); a failed certificate exits 5 "
+        "(default: on)",
+    )
+    p.add_argument(
+        "--quarantine",
+        metavar="DIR",
+        help="directory for formulas whose verdict failed certification "
+        "(written as cert-<digest>/formula.smt2 + report.json)",
     )
     p.set_defaults(func=_cmd_query)
 

@@ -26,7 +26,12 @@ from repro.core.graphs import PolicyGraph, GraphStatistics
 from repro.core.translation import TranslationResult, translate_query_terms
 from repro.core.subgraph import Subgraph, extract_subgraph
 from repro.core.encode import EncodedQuery, encode_query
-from repro.core.verify import Verdict, VerificationResult, verify_encoded
+from repro.core.verify import (
+    Verdict,
+    VerificationResult,
+    is_certification_failure,
+    verify_encoded,
+)
 from repro.core.pipeline import PipelineConfig, PolicyModel, PolicyPipeline
 
 __all__ = [
@@ -48,6 +53,7 @@ __all__ = [
     "encode_query",
     "Verdict",
     "VerificationResult",
+    "is_certification_failure",
     "verify_encoded",
     "PolicyPipeline",
     "PolicyModel",

@@ -39,6 +39,9 @@ class PipelineMetrics:
     ladder_escalations: int = 0  # budget-escalation rungs executed
     ladder_decompositions: int = 0  # decomposition rungs executed
     ladder_rescues: int = 0  # degraded queries that reached a decided verdict
+    certifications_run: int = 0  # verifications that ran the certifier
+    certification_failures: int = 0  # soundness alarms (verdict demoted to UNKNOWN)
+    certification_quarantines: int = 0  # offending formulas persisted to disk
     # Model-store accounting (tracked on PolicyPipeline.metrics, which
     # covers the pipeline's whole lifetime rather than one query).
     snapshot_saves: int = 0  # snapshots committed through save_model
@@ -109,6 +112,9 @@ class PipelineMetrics:
             f"{self.ladder_escalations} escalations / "
             f"{self.ladder_decompositions} decompositions), "
             f"{self.translation_fallbacks} translation fallbacks",
+            f"certification: {self.certifications_run} run, "
+            f"{self.certification_failures} soundness alarms "
+            f"({self.certification_quarantines} quarantined)",
             f"store: {self.snapshot_saves} saves, {self.snapshot_loads} loads "
             f"({self.snapshot_quarantines} quarantined, "
             f"{self.snapshot_rebuilds} rebuilt, "

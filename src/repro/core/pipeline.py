@@ -41,6 +41,7 @@ from repro.core.verify import (
     VerificationResult,
     Verdict,
     compile_script_text,
+    is_certification_failure,
     verification_cache_key,
     verify_encoded,
 )
@@ -57,7 +58,7 @@ from repro.resilience.degradation import (
     execute_ladder,
     is_budget_limited,
 )
-from repro.solver.interface import SolverBudget
+from repro.solver.interface import CertificationConfig, SolverBudget
 
 DEFAULT_BATCH_WORKERS = 8
 
@@ -108,6 +109,17 @@ class PipelineConfig:
     # state with the rebuild instead of letting drift reach queries.
     audit_updates: bool = False
     auto_heal: bool = False
+    # Trust-but-verify certification of solver verdicts: re-validate SAT
+    # answers against the original formulas, replay UNSAT proofs, and
+    # demote any verdict whose certificate fails to UNKNOWN (soundness
+    # alarm).  Single queries certify by default; batches sample every
+    # batch_certify_stride-th question (1 = every question).
+    certify: bool = True
+    certification: CertificationConfig = field(default_factory=CertificationConfig)
+    batch_certify_stride: int = 4
+    # Directory for quarantined formulas whose verdict failed
+    # certification; None disables quarantine (the alarm still fires).
+    certification_quarantine_dir: str | Path | None = None
 
 
 @dataclass(slots=True)
@@ -597,6 +609,7 @@ class PolicyPipeline:
         question: str,
         *,
         budget: SolverBudget | None = None,
+        certify: bool | None = None,
     ) -> QueryOutcome:
         """Verify a data-practice question against the model.
 
@@ -613,6 +626,12 @@ class PolicyPipeline:
         verification comes back UNKNOWN for budget reasons, the ladder
         escalates (and, failing that, decomposes) before answering; the
         attempt trail is attached as :attr:`QueryOutcome.degradation`.
+
+        ``certify`` overrides ``PipelineConfig.certify`` for this one
+        query: the solver's verdict is re-validated by the independent
+        certification layer, and a failed certificate is demoted to
+        UNKNOWN (soundness alarm) rather than surfaced — never escalated
+        by the degradation ladder.
         """
         from repro.core.questions import is_question, normalize_question
 
@@ -693,10 +712,17 @@ class PolicyPipeline:
         effective_budget = (
             budget if budget is not None else self.config.solver_budget
         )
+        effective_certify = (
+            certify if certify is not None else self.config.certify
+        )
         degradation: DegradationReport | None = None
         with _stage("verify"):
             verification = self._verify(
-                encoded, caches, metrics, budget=effective_budget
+                encoded,
+                caches,
+                metrics,
+                budget=effective_budget,
+                certify=effective_certify,
             )
             ladder = self.config.budget_ladder
             if ladder is not None and is_budget_limited(verification):
@@ -712,7 +738,7 @@ class PolicyPipeline:
                     via_smtlib=self.config.use_smtlib_roundtrip,
                     check_conditional=self.config.check_conditional,
                     verify=lambda enc, b: self._verify(
-                        enc, caches, metrics, budget=b
+                        enc, caches, metrics, budget=b, certify=effective_certify
                     ),
                 )
                 metrics.degraded_queries += 1
@@ -774,15 +800,17 @@ class PolicyPipeline:
         metrics: PipelineMetrics,
         *,
         budget: SolverBudget | None = None,
+        certify: bool = False,
     ) -> VerificationResult:
         """Verify (or reuse) an encoded query.
 
         Each miss builds fresh :class:`~repro.solver.interface.Solver`
         instances inside :func:`verify_encoded`, so concurrent workers
         never share solver state; hits skip the solver entirely and are
-        not counted in the solver totals.  The cache key embeds ``budget``,
-        so results obtained under escalated (or starved) budgets never
-        answer for the default one.
+        not counted in the solver totals.  The cache key embeds ``budget``
+        and ``certify``, so results obtained under escalated (or starved)
+        budgets never answer for the default one, and an uncertified
+        verdict never answers for a certified request.
         """
         if budget is None:
             budget = self.config.solver_budget
@@ -792,6 +820,7 @@ class PolicyPipeline:
             budget,
             via_smtlib=self.config.use_smtlib_roundtrip,
             check_conditional=self.config.check_conditional,
+            certify=certify,
         )
         if caches is not None:
             hit = caches.get("verification", key)
@@ -804,11 +833,21 @@ class PolicyPipeline:
             via_smtlib=self.config.use_smtlib_roundtrip,
             check_conditional=self.config.check_conditional,
             script_text=script_text,
+            certification=self.config.certification if certify else None,
+            quarantine_dir=self.config.certification_quarantine_dir
+            if certify
+            else None,
         )
         metrics.verification_misses += 1
         stats = verification.solver_result.statistics
         metrics.solver_conflicts += stats.conflicts
         metrics.solver_propagations += stats.propagations
+        if certify:
+            metrics.certifications_run += 1
+            if is_certification_failure(verification):
+                metrics.certification_failures += 1
+                if verification.quarantined_to is not None:
+                    metrics.certification_quarantines += 1
         if caches is not None:
             caches.put("verification", key, verification)
         return verification
@@ -835,18 +874,26 @@ class PolicyPipeline:
         the failing stage and exception — instead of aborting the executor
         and discarding the verdicts of every other query.  Pass
         ``isolate_faults=False`` to re-raise the first failure instead.
+
+        Certification is *sampled* in batches: with
+        ``PipelineConfig.certify`` on, every
+        ``PipelineConfig.batch_certify_stride``-th question (by input
+        index, so the sample is deterministic and thread-order-free) runs
+        the certifier; set the stride to 1 to certify every question.
         """
         questions = list(questions)
         if max_workers is None:
             max_workers = min(DEFAULT_BATCH_WORKERS, max(1, len(questions)))
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        stride = max(1, self.config.batch_certify_stride)
 
-        def run(q: str) -> QueryOutcome | ErrorOutcome:
+        def run(index: int, q: str) -> QueryOutcome | ErrorOutcome:
+            certify = self.config.certify and index % stride == 0
             if not isolate_faults:
-                return self.query(model, q)
+                return self.query(model, q, certify=certify)
             try:
-                return self.query(model, q)
+                return self.query(model, q, certify=certify)
             except Exception as exc:  # noqa: BLE001 - isolation boundary
                 error_metrics = PipelineMetrics()
                 error_metrics.query_errors = 1
@@ -860,10 +907,10 @@ class PolicyPipeline:
 
         started = time.perf_counter()
         if max_workers == 1 or len(questions) <= 1:
-            outcomes = [run(q) for q in questions]
+            outcomes = [run(i, q) for i, q in enumerate(questions)]
         else:
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                outcomes = list(pool.map(run, questions))
+                outcomes = list(pool.map(run, range(len(questions)), questions))
         return BatchOutcome(
             outcomes=outcomes,
             metrics=merged([o.metrics for o in outcomes]),

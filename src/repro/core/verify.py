@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 import hashlib
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.encode import EncodedQuery
 from repro.errors import QueryError
@@ -25,8 +26,13 @@ from repro.fol.builder import negate
 from repro.fol.formula import PredicateSymbol
 from repro.smtlib.printer import compile_validity_script
 from repro.smtlib.parser import execute_script
-from repro.solver.interface import Solver, SolverBudget
-from repro.solver.result import SatResult, SolverResult
+from repro.solver.interface import CertificationConfig, Solver, SolverBudget
+from repro.solver.result import (
+    CERTIFICATION_FAILED,
+    CertificateReport,
+    SatResult,
+    SolverResult,
+)
 
 
 class Verdict(enum.Enum):
@@ -54,10 +60,16 @@ class VerificationResult:
     conditionally_valid: bool | None = None
     policy_consistent: bool | None = None
     counterexample: dict[str, bool] = field(default_factory=dict)
+    quarantined_to: str | None = None  # directory of the quarantined formula
 
     @property
     def has_ambiguity(self) -> bool:
         return bool(self.depends_on)
+
+    @property
+    def certificate(self) -> CertificateReport | None:
+        """The solver's certification report, when certification ran."""
+        return self.solver_result.certificate
 
     def summary(self) -> str:
         lines = [f"verdict: {self.verdict}"]
@@ -68,6 +80,13 @@ class VerificationResult:
             )
         if self.verdict is Verdict.UNKNOWN and self.solver_result.reason:
             lines.append(f"reason: {self.solver_result.reason}")
+        if self.certificate is not None and self.certificate.failed:
+            lines.append(
+                "SOUNDNESS ALARM: the solver's answer failed independent "
+                "certification; do not trust this verdict"
+            )
+            if self.quarantined_to:
+                lines.append(f"offending formula quarantined to {self.quarantined_to}")
         if self.conditionally_valid:
             lines.append(
                 "conditionally valid: holds if every vague condition is satisfied"
@@ -87,7 +106,7 @@ class VerificationResult:
 
     def as_dict(self) -> dict[str, object]:
         """JSON-serializable view (drops the solver internals)."""
-        return {
+        out: dict[str, object] = {
             "verdict": self.verdict.value,
             "reason": self.solver_result.reason,
             "depends_on": dict(self.depends_on),
@@ -95,6 +114,15 @@ class VerificationResult:
             "policy_consistent": self.policy_consistent,
             "counterexample": dict(self.counterexample),
         }
+        # A *passing* certificate is cost accounting, not verdict content, so
+        # it stays out of the trace — a certified run and an uncertified run
+        # of the same query compare byte-identical.  A *failed* certificate
+        # is the soundness alarm and must survive serialization.
+        if self.certificate is not None and self.certificate.failed:
+            out["certificate"] = self.certificate.as_dict()
+        if self.quarantined_to is not None:
+            out["quarantined_to"] = self.quarantined_to
+        return out
 
 
 def _status_to_verdict(status: SatResult) -> Verdict:
@@ -103,6 +131,50 @@ def _status_to_verdict(status: SatResult) -> Verdict:
     if status is SatResult.SAT:
         return Verdict.INVALID
     return Verdict.UNKNOWN
+
+
+def is_certification_failure(verification: VerificationResult) -> bool:
+    """Did this verification trip the soundness alarm?
+
+    A certification-failure UNKNOWN is terminal: the solver produced an
+    answer that its independent checker could not reproduce, so no amount
+    of budget escalation can be trusted to do better (the degradation
+    ladder short-circuits on it).
+    """
+    if verification.verdict is not Verdict.UNKNOWN:
+        return False
+    reason = verification.solver_result.reason or ""
+    return reason.startswith(CERTIFICATION_FAILED)
+
+
+def quarantine_failure(
+    verification: VerificationResult, directory: str | Path
+) -> Path:
+    """Persist the offending formula and certificate for offline triage.
+
+    Writes ``cert-<digest>/formula.smt2`` (the exact SMT-LIB text whose
+    verdict failed certification) and ``report.json`` (the structured
+    :class:`CertificateReport` plus the verdict context) through the
+    atomic writers, so a crash mid-quarantine never leaves a truncated
+    artifact.  Returns the quarantine directory.
+    """
+    from repro.store.atomic import atomic_write_json, atomic_write_text
+
+    digest = hashlib.sha256(verification.smtlib_text.encode("utf-8")).hexdigest()
+    target = Path(directory) / f"cert-{digest[:12]}"
+    target.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(target / "formula.smt2", verification.smtlib_text)
+    report = verification.certificate
+    atomic_write_json(
+        target / "report.json",
+        {
+            "reason": verification.solver_result.reason,
+            "script_sha256": digest,
+            "certificate": report.as_dict() if report is not None else None,
+        },
+    )
+    verification.quarantined_to = str(target)
+    return target
 
 
 def compile_script_text(encoded: EncodedQuery) -> str:
@@ -124,6 +196,7 @@ def verification_cache_key(
     *,
     via_smtlib: bool = True,
     check_conditional: bool = True,
+    certify: bool = False,
 ) -> tuple:
     """Memoization key for :func:`verify_encoded`.
 
@@ -133,7 +206,7 @@ def verification_cache_key(
     per-model caches on update regardless).
     """
     digest = hashlib.sha256(script_text.encode("utf-8")).hexdigest()
-    return (digest, budget or SolverBudget(), via_smtlib, check_conditional)
+    return (digest, budget or SolverBudget(), via_smtlib, check_conditional, certify)
 
 
 def verify_encoded(
@@ -143,29 +216,41 @@ def verify_encoded(
     via_smtlib: bool = True,
     check_conditional: bool = True,
     script_text: str | None = None,
+    certification: CertificationConfig | None = None,
+    quarantine_dir: str | Path | None = None,
 ) -> VerificationResult:
     """Check whether the encoded policy entails the encoded query.
 
     ``script_text`` lets callers that already compiled the SMT-LIB script
     (e.g. to build a cache key) pass it in instead of compiling twice.
+
+    ``certification`` arms the solver's trust-but-verify layer on the main
+    validity check: the verdict is independently re-validated, and a failed
+    certificate surfaces as UNKNOWN with the soundness alarm set (never as
+    a possibly-wrong VALID / INVALID).  With ``quarantine_dir``, the
+    offending formula and certificate are additionally persisted via
+    :func:`quarantine_failure`.
     """
     if encoded.query_formula is None:
         raise QueryError("encoded query has no query formula")
     text = script_text if script_text is not None else compile_script_text(encoded)
 
     if via_smtlib:
-        results = execute_script(text, budget=budget)
+        results = execute_script(text, budget=budget, certification=certification)
         solver_result = results[-1]
     else:
-        solver = Solver(budget=budget)
+        solver = Solver(budget=budget, certification=certification)
         for formula in encoded.policy_formulas:
             solver.assert_formula(formula)
         solver.assert_formula(negate(encoded.query_formula))
         solver_result = solver.check_sat()
 
     verdict = _status_to_verdict(solver_result.status)
+    certification_failed = (
+        solver_result.certificate is not None and solver_result.certificate.failed
+    )
     policy_consistent: bool | None = None
-    if verdict is Verdict.VALID:
+    if verdict is Verdict.VALID and not certification_failed:
         # A VALID verdict is vacuous when the policy statements themselves
         # are contradictory (the apparent-contradiction pattern); detect and
         # demote it so a human reviews the conflicting statements instead.
@@ -199,6 +284,8 @@ def verify_encoded(
         and encoded.uninterpreted
     ):
         result.conditionally_valid = _conditionally_valid(encoded, budget)
+    if certification_failed and quarantine_dir is not None:
+        quarantine_failure(result, quarantine_dir)
     return result
 
 

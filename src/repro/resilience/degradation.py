@@ -32,7 +32,12 @@ from dataclasses import dataclass, field
 
 from repro.core.encode import EncodedQuery, encode_query
 from repro.core.subgraph import Subgraph, component_for_terms, split_components
-from repro.core.verify import Verdict, VerificationResult, verify_encoded
+from repro.core.verify import (
+    Verdict,
+    VerificationResult,
+    is_certification_failure,
+    verify_encoded,
+)
 from repro.llm.tasks import ExtractedParameters
 from repro.solver.interface import SolverBudget
 
@@ -44,8 +49,16 @@ _BUDGET_MARKERS = ("budget exhausted", "timeout")
 
 
 def is_budget_limited(verification: VerificationResult) -> bool:
-    """Did this verification fail on resources rather than on substance?"""
+    """Did this verification fail on resources rather than on substance?
+
+    Certification failures are excluded even when their failure text
+    happens to mention a budget word (e.g. a certifier error wrapping a
+    timeout): the soundness alarm means the solver's answers cannot be
+    trusted, which more budget does not fix.
+    """
     if verification.verdict is not Verdict.UNKNOWN:
+        return False
+    if is_certification_failure(verification):
         return False
     reason = verification.solver_result.reason or ""
     return any(marker in reason for marker in _BUDGET_MARKERS)
@@ -169,6 +182,16 @@ def execute_ladder(
     branch from an unrelated contradictory branch is exactly the recovery
     a human reviewer would attempt.
     """
+    if is_certification_failure(initial):
+        # Soundness alarm: the solver's verdict failed independent
+        # certification, so re-running at a bigger budget would only
+        # produce more untrustworthy answers.  The UNKNOWN (with its
+        # CertificateReport) stands; the empty report records that no
+        # rung was attempted.
+        return initial, DegradationReport(
+            base_reason=initial.solver_result.reason, rescued=False
+        )
+
     ladder = ladder or BudgetLadder()
     base = base_budget or SolverBudget()
     if verify is None:

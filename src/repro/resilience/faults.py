@@ -26,14 +26,17 @@ from repro.errors import InjectedFaultError
 from repro.llm.client import LLMClient, prompt_fingerprint
 from repro.solver.interface import SolverBudget
 
-#: A budget no verification survives: the wall-clock deadline is already
-#: in the past when the search loop first checks it, and grounding even a
-#: single quantified axiom overdraws the instance budget.
+#: A budget no verification survives: grounding even a single quantified
+#: axiom overdraws the instance budget, and the conflict/propagation caps
+#: are zero.  Starvation is deliberately expressed through the
+#: *deterministic* resource budgets rather than the wall-clock timeout
+#: (which is now enforced as early as grounding and would make the
+#: escalation trail depend on scheduler timing).
 STARVED_BUDGET = SolverBudget(
     max_conflicts=0,
     max_propagations=0,
     max_ground_instances=1,
-    timeout_seconds=0.0,
+    timeout_seconds=None,
 )
 
 
@@ -130,7 +133,8 @@ class BudgetStarvingPipeline(PolicyPipeline):
         question: str,
         *,
         budget: SolverBudget | None = None,
+        certify: bool | None = None,
     ) -> QueryOutcome:
         if self.is_starved(question):
             budget = self._starved_budget
-        return super().query(model, question, budget=budget)
+        return super().query(model, question, budget=budget, certify=certify)

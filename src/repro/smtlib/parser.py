@@ -42,7 +42,7 @@ from repro.smtlib.script import (
     SetLogic,
     SMTScript,
 )
-from repro.solver.interface import Solver, SolverBudget
+from repro.solver.interface import CertificationConfig, Solver, SolverBudget
 from repro.solver.result import SolverResult
 
 _BOOL = Sort("Bool")
@@ -192,26 +192,38 @@ def _to_formula(
 
 
 def execute_script(
-    script: SMTScript | str, *, budget: SolverBudget | None = None
+    script: SMTScript | str,
+    *,
+    budget: SolverBudget | None = None,
+    certification: CertificationConfig | None = None,
 ) -> list[SolverResult]:
     """Run a script against the bundled solver; one result per check command."""
-    results, _outputs = execute_script_verbose(script, budget=budget)
+    results, _outputs = execute_script_verbose(
+        script, budget=budget, certification=certification
+    )
     return results
 
 
 def execute_script_verbose(
-    script: SMTScript | str, *, budget: SolverBudget | None = None
+    script: SMTScript | str,
+    *,
+    budget: SolverBudget | None = None,
+    certification: CertificationConfig | None = None,
 ) -> tuple[list[SolverResult], list[str]]:
     """Like :func:`execute_script`, also returning get-model/get-value output.
 
     Each ``get-model`` contributes one output line per named atom of the
     last SAT answer, in SMT-LIB ``define-fun`` style; ``get-value``
     contributes one ``(term value)`` line per requested term.
+
+    ``certification`` arms the solver's trust-but-verify layer: every
+    check answer is independently re-validated, and a failed certificate
+    comes back as UNKNOWN with a :class:`CertificateReport` attached.
     """
     if isinstance(script, str):
         script = parse_script(script)
     env = _Environment()
-    solver = Solver(budget=budget)
+    solver = Solver(budget=budget, certification=certification)
     results: list[SolverResult] = []
     outputs: list[str] = []
     for command in script.commands:

@@ -6,13 +6,29 @@ equality over uninterpreted functions (lazy DPLL(T)), finite-domain
 quantifier grounding, push/pop incrementality with ``check-sat-assuming``,
 and explicit resource budgets so that the paper's solver timeouts surface
 as first-class ``UNKNOWN`` results instead of hangs.
+
+Every verdict can additionally be *certified* by a trust-but-verify layer
+(:mod:`repro.solver.modelcheck`, :mod:`repro.solver.proof`): SAT answers
+are re-validated against the original formulas by an independent
+evaluator, UNSAT answers replay a clausal proof by unit propagation, and
+a failed certificate demotes the verdict to UNKNOWN instead of surfacing
+a possibly-wrong answer.
 """
 
-from repro.solver.interface import Solver, SolverBudget
-from repro.solver.result import SatResult, SolverResult, SolverStatistics
+from repro.solver.interface import CertificationConfig, Solver, SolverBudget
+from repro.solver.result import (
+    CERTIFICATION_FAILED,
+    CertificateReport,
+    SatResult,
+    SolverResult,
+    SolverStatistics,
+)
 from repro.solver.grounding import Universe
 
 __all__ = [
+    "CERTIFICATION_FAILED",
+    "CertificateReport",
+    "CertificationConfig",
     "Solver",
     "SolverBudget",
     "SolverResult",

@@ -11,9 +11,11 @@ blow-ups into UNKNOWN results rather than memory exhaustion.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import BudgetExceededError, SolverError
+from repro.solver import faults as _faults
 from repro.fol.formula import (
     And,
     Exists,
@@ -60,13 +62,30 @@ class Universe:
     def total_constants(self) -> int:
         return sum(len(v) for v in self._constants.values())
 
+    def snapshot(self) -> dict[Sort, tuple[Constant, ...]]:
+        """Immutable copy of every domain, in declaration order.
+
+        The certification layer records this alongside each grounded
+        assertion so its independent re-expansion sees exactly the
+        universe the production grounder saw, even if constants are
+        declared later (incremental asserts).
+        """
+        return {sort: tuple(domain) for sort, domain in self._constants.items()}
+
 
 class GroundingCounter:
-    """Shared instantiation counter with a hard cap."""
+    """Shared instantiation counter with a hard cap and optional deadline.
 
-    def __init__(self, budget: int | None) -> None:
+    ``deadline`` (a ``time.monotonic`` instant) makes grounding honour the
+    solver's wall-clock budget: nested quantifier expansion can burn
+    arbitrary time before the SAT loop ever runs its first budget check,
+    so the timeout has to be enforced here as well.
+    """
+
+    def __init__(self, budget: int | None, *, deadline: float | None = None) -> None:
         self.budget = budget
         self.count = 0
+        self.deadline = deadline
 
     def spend(self, n: int = 1) -> None:
         self.count += n
@@ -74,6 +93,8 @@ class GroundingCounter:
             raise BudgetExceededError(
                 f"grounding budget exhausted ({self.count} > {self.budget} instances)"
             )
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise BudgetExceededError("wall-clock timeout")
 
 
 def ground(
@@ -108,17 +129,20 @@ def ground(
         if isinstance(node, (Forall, Exists)):
             domain = universe.domain(node.variable.sort)
             counter.spend(max(len(domain), 1))
-            instances = [
-                walk(substitute(node.body, {node.variable: const}))
-                for const in domain
-            ]
+            instances = _faults.mutate(
+                "ground.instances",
+                [
+                    walk(substitute(node.body, {node.variable: const}))
+                    for const in domain
+                ],
+            )
             if isinstance(node, Forall):
                 if not instances:
                     return TrueFormula()
-                return And(tuple(instances))
+                return _faults.mutate("ground.quantifier", And(tuple(instances)))
             if not instances:
                 return FalseFormula()
-            return Or(tuple(instances))
+            return _faults.mutate("ground.quantifier", Or(tuple(instances)))
         raise SolverError(f"cannot ground formula node {node!r}")
 
     return walk(formula)

@@ -24,13 +24,21 @@ from repro.errors import BudgetExceededError, SolverError
 from repro.fol.formula import Formula, Not, Predicate
 from repro.fol.simplify import simplify
 from repro.fol.visitor import collect_constants, free_variables
+from repro.solver import modelcheck
 from repro.solver.cnf import atom_key, tseitin
 from repro.solver.grounding import GroundingCounter, Universe, ground
 from repro.solver.literals import AtomPool
 from repro.solver.preprocess import preprocess
-from repro.solver.result import SatResult, SolverResult, SolverStatistics
+from repro.solver.proof import ProofLog, check_proof
+from repro.solver.result import (
+    CERTIFICATION_FAILED,
+    CertificateReport,
+    SatResult,
+    SolverResult,
+    SolverStatistics,
+)
 from repro.solver.sat import CDCLSolver
-from repro.solver.theory import solve_with_theory
+from repro.solver.theory import needs_theory, solve_with_theory
 
 
 @dataclass(frozen=True, slots=True)
@@ -72,6 +80,29 @@ class SolverBudget:
         )
 
 
+@dataclass(frozen=True, slots=True)
+class CertificationConfig:
+    """Trust-but-verify settings for one :class:`Solver`.
+
+    With certification enabled, every decided verdict is independently
+    re-checked (SAT answers by model evaluation against the original
+    formulas, UNSAT answers by clausal-proof replay, theory lemmas by an
+    independent congruence check) and demoted to UNKNOWN with reason
+    ``"certification failed: ..."`` when the check disagrees — a
+    soundness alarm, never a silently wrong answer.
+
+    ``max_proof_events`` caps proof replay: larger proofs report a
+    ``"skipped"`` certificate (verdict stands, but the certificate says
+    the proof was not replayed) instead of burning unbounded check time.
+    """
+
+    enabled: bool = True
+    check_models: bool = True
+    check_proofs: bool = True
+    check_grounding: bool = True
+    max_proof_events: int = 100_000
+
+
 class Solver:
     """An incremental SMT solver over many-sorted ground/quantified FOL.
 
@@ -84,18 +115,30 @@ class Solver:
         budget: SolverBudget | None = None,
         *,
         enable_preprocessing: bool = False,
+        certification: CertificationConfig | None = None,
     ) -> None:
         self.budget = budget or SolverBudget()
         self.enable_preprocessing = enable_preprocessing
+        self.certification = certification
         self.universe = Universe()
         self.statistics = SolverStatistics()
         self._stack: list[list[Formula]] = [[]]
         self._persistent: tuple[CDCLSolver, AtomPool] | None = None
+        # Certification bookkeeping: per grounded assertion, the original
+        # formula, the grounder's pre-simplification output, and the
+        # universe snapshot it was expanded over.  Rebuilt with _build.
+        self._cert_records: list[
+            tuple[Formula, Formula, dict]
+        ] = []
         # The grounding budget is cumulative over the whole problem: a
         # policy-sized assertion set exhausts it even though each individual
         # quantified axiom is small.  This is the mechanism behind the
         # full-policy UNKNOWNs (the paper's solver timeouts).
         self._ground_counter = GroundingCounter(self.budget.max_ground_instances)
+
+    @property
+    def _certifying(self) -> bool:
+        return self.certification is not None and self.certification.enabled
 
     # ------------------------------------------------------------------
     # Assertion stack
@@ -163,9 +206,10 @@ class Solver:
         return time.monotonic() + self.budget.timeout_seconds
 
     def _clauses_for(self, formula: Formula, pool: AtomPool) -> list:
-        grounded = simplify(
-            ground(formula, self.universe, counter=self._ground_counter)
-        )
+        raw = ground(formula, self.universe, counter=self._ground_counter)
+        if self._certifying:
+            self._cert_records.append((formula, raw, self.universe.snapshot()))
+        grounded = simplify(raw)
         self.statistics.ground_instances = self._ground_counter.count
         if free_variables(grounded):
             raise SolverError("assertion has free variables after grounding")
@@ -177,12 +221,17 @@ class Solver:
             # remembers and reports it on the next solve.
             sat.add_clause(clause)
 
-    def _build(self) -> tuple[CDCLSolver, AtomPool]:
+    def _build(self, deadline: float | None = None) -> tuple[CDCLSolver, AtomPool]:
         if self._persistent is not None:
             return self._persistent
         # Rebuilding from scratch re-grounds everything: start the
-        # cumulative budget over.
-        self._ground_counter = GroundingCounter(self.budget.max_ground_instances)
+        # cumulative budget over.  The deadline rides on the counter so a
+        # slow grounding phase converts into a wall-clock UNKNOWN instead
+        # of overshooting the budget before search even starts.
+        self._ground_counter = GroundingCounter(
+            self.budget.max_ground_instances, deadline=deadline
+        )
+        self._cert_records = []
         pool = AtomPool()
         sat = CDCLSolver(
             0,
@@ -190,6 +239,8 @@ class Solver:
             max_conflicts=self.budget.max_conflicts,
             max_propagations=self.budget.max_propagations,
         )
+        if self._certifying:
+            sat.proof = ProofLog()
         clauses: list = []
         for formula in self.assertions:
             clauses.extend(self._clauses_for(formula, pool))
@@ -198,7 +249,9 @@ class Solver:
             # must see their real values.  Pure-literal elimination is
             # therefore safe on auxiliary (Tseitin) variables only.
             protected = frozenset(pool.named_atoms().values())
-            result = preprocess(clauses, pure_literals=True, protect=protected)
+            result = preprocess(
+                clauses, pure_literals=True, protect=protected, deadline=deadline
+            )
             if result.conflict:
                 sat.ensure_vars(pool.count)
                 var = pool.fresh("conflict")
@@ -229,9 +282,10 @@ class Solver:
 
     def _check(self, assumption_formulas: tuple[Formula, ...]) -> SolverResult:
         start = time.monotonic()
+        deadline = self._deadline()
         try:
-            sat, pool = self._build()
-            sat.deadline = self._deadline()
+            sat, pool = self._build(deadline)
+            sat.deadline = deadline
             lits = tuple(
                 self._assumption_literal(f, pool) for f in assumption_formulas
             )
@@ -255,4 +309,119 @@ class Solver:
             model = {
                 key: raw.get(var, False) for key, var in pool.named_atoms().items()
             }
-        return SolverResult(status=verdict, model=model, statistics=self.statistics)
+        result = SolverResult(
+            status=verdict, model=model, statistics=self.statistics
+        )
+        if self._certifying and verdict is not SatResult.UNKNOWN:
+            report = self._certify(verdict, sat, pool, lits)
+            result.certificate = report
+            if report.failed:
+                # Soundness alarm: never surface the uncertified verdict.
+                # The persistent core is dropped — its learned state is
+                # tainted by whatever produced the bogus answer.
+                self._persistent = None
+                return SolverResult(
+                    status=SatResult.UNKNOWN,
+                    reason=f"{CERTIFICATION_FAILED}: {report.failures[0]}",
+                    statistics=self.statistics,
+                    certificate=report,
+                )
+        return result
+
+    def _certify(
+        self,
+        verdict: SatResult,
+        sat: CDCLSolver,
+        pool: AtomPool,
+        lits: tuple[int, ...],
+    ) -> CertificateReport:
+        """Independently re-check a decided verdict (see CertificationConfig)."""
+        config = self.certification
+        started = time.perf_counter()
+        report = CertificateReport(verdict=verdict.value)
+
+        def fail(message: str) -> None:
+            report.status = "failed"
+            report.failures.append(message)
+
+        try:
+            events = sat.proof.events if sat.proof is not None else []
+            report.proof_events = len(events)
+
+            if config.check_grounding:
+                report.checks.append("grounding-parity")
+                for formula, grounded, snapshot in self._cert_records:
+                    if modelcheck.expand(formula, snapshot) != grounded:
+                        fail(
+                            "grounding mismatch: independent expansion of "
+                            f"assertion {formula} disagrees with the grounder"
+                        )
+                        break
+
+            if verdict is SatResult.SAT and config.check_models:
+                raw = sat.model()
+                report.checks.append("assumptions")
+                for lit in lits:
+                    if raw.get(abs(lit), False) != (lit > 0):
+                        fail(f"model violates assumption literal {lit}")
+                report.checks.append("cnf-model")
+                inputs = [
+                    e.clause for e in events if e.kind in ("input", "theory")
+                ]
+                violated = modelcheck.clause_violations(inputs, raw)
+                if violated:
+                    fail(
+                        f"model falsifies {len(violated)} input clause(s), "
+                        f"e.g. {violated[0]}"
+                    )
+                named = {
+                    key: raw.get(var, False)
+                    for key, var in pool.named_atoms().items()
+                }
+                report.checks.append("fol-model")
+                for formula, _grounded, snapshot in self._cert_records:
+                    if not modelcheck.evaluate_formula(formula, named, snapshot):
+                        fail(
+                            "model does not satisfy the original assertion "
+                            f"{formula}"
+                        )
+                        break
+                if needs_theory(pool):
+                    report.checks.append("euf-model")
+                    if not modelcheck.euf_consistent(named.items()):
+                        fail("model is EUF-inconsistent under congruence")
+
+            if verdict is SatResult.UNSAT and config.check_proofs:
+                if self.enable_preprocessing:
+                    # Presolving rewrites the clause set before it reaches
+                    # the proof log; the replayed axioms would not be the
+                    # asserted ones.  Decline rather than over-claim.
+                    if not report.failures:
+                        report.status = "skipped"
+                    report.failures.append(
+                        "proof replay skipped: preprocessing rewrites the "
+                        "input clauses before logging"
+                    )
+                else:
+                    report.checks.append("proof-replay")
+                    outcome = check_proof(
+                        events,
+                        assumptions=lits,
+                        variable_for=pool.variable_for,
+                        max_events=config.max_proof_events,
+                    )
+                    report.lemmas_certified = outcome.lemmas_certified
+                    if not outcome.ok:
+                        if outcome.failures and outcome.failures[0].startswith(
+                            "proof too large"
+                        ):
+                            if not report.failures:
+                                report.status = "skipped"
+                            report.failures.extend(outcome.failures)
+                        else:
+                            for message in outcome.failures:
+                                fail(message)
+        except Exception as exc:  # noqa: BLE001 - a broken certifier must alarm
+            fail(f"certifier error: {type(exc).__name__}: {exc}")
+        report.seconds = time.perf_counter() - started
+        return report

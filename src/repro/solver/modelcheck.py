@@ -1,0 +1,371 @@
+"""Independent re-validation of solver answers (the SAT side of trust-but-verify).
+
+Everything in this module is deliberately written from scratch against the
+*specifications* of the solver substrate — canonical atom-key strings,
+Herbrand expansion over a declared universe, congruence semantics for
+``=`` — and shares no code with the CDCL search, the Tseitin transform,
+the production grounder, or the production congruence closure.  A bug in
+any of those therefore cannot hide itself here.
+
+Four checks live here:
+
+- :func:`clause_violations` — does the raw assignment satisfy the clauses
+  the solver was actually given?
+- :func:`evaluate_formula` — does the named-atom assignment satisfy the
+  *original* (possibly quantified) FOL assertion, expanding quantifiers
+  over the recorded universe snapshot on the fly?
+- :func:`euf_consistent` — is the named-atom assignment consistent under
+  equality-with-uninterpreted-functions?  (Also certifies theory-lemma
+  premises for the proof checker.)
+- :func:`expand` — an independent Herbrand expansion used to cross-check
+  the production grounder node for node.
+
+:func:`brute_force_status` combines the evaluator and the consistency
+check into the reference enumerator the differential fuzzer compares the
+real solver against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import SolverError
+from repro.fol.formula import (
+    And,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Predicate,
+    TrueFormula,
+)
+from repro.fol.terms import Application, Constant, Sort, Term, Variable
+
+#: Universe snapshot: declared constants per sort, in declaration order.
+Domains = Mapping[Sort, tuple[Constant, ...]]
+
+_EQ = "="
+
+
+# ----------------------------------------------------------------------
+# Canonical atom keys, re-derived from the documented format
+# ("share(tiktok,email)", "=(a,f(b))", "flag") rather than imported.
+# ----------------------------------------------------------------------
+
+
+def render_term(term: Term, env: Mapping[Variable, Constant] | None = None) -> str:
+    """Canonical string of a ground term (variables resolved via ``env``)."""
+    if isinstance(term, Variable):
+        if env is None or term not in env:
+            raise SolverError(f"model check hit unbound variable {term.name!r}")
+        return env[term].name
+    if isinstance(term, Constant):
+        return term.name
+    if isinstance(term, Application):
+        inner = ",".join(render_term(a, env) for a in term.args)
+        return f"{term.symbol.name}({inner})"
+    raise SolverError(f"model check cannot render term {term!r}")
+
+
+def render_atom(atom: Predicate, env: Mapping[Variable, Constant] | None = None) -> str:
+    """Canonical key of a (possibly env-resolved) atom."""
+    if not atom.args:
+        return atom.symbol.name
+    inner = ",".join(render_term(a, env) for a in atom.args)
+    return f"{atom.symbol.name}({inner})"
+
+
+def _split_top_level(inner: str) -> list[str]:
+    """Split "a,g(b,c),d" into top-level comma-separated chunks."""
+    parts: list[str] = []
+    depth = 0
+    start = 0
+    for i, ch in enumerate(inner):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append(inner[start:i])
+            start = i + 1
+    if inner:
+        parts.append(inner[start:])
+    return parts
+
+
+def _split_key(key: str) -> tuple[str, tuple[str, ...]]:
+    """Split an atom or application key into head and argument keys."""
+    open_paren = key.find("(")
+    if open_paren < 0:
+        return key, ()
+    return key[:open_paren], tuple(_split_top_level(key[open_paren + 1 : -1]))
+
+
+def _subterm_keys(key: str) -> set[str]:
+    """Every term key reachable inside ``key``, including itself."""
+    out = {key}
+    _head, args = _split_key(key)
+    for arg in args:
+        out |= _subterm_keys(arg)
+    return out
+
+
+# ----------------------------------------------------------------------
+# CNF-level check
+# ----------------------------------------------------------------------
+
+
+def clause_violations(
+    clauses: Iterable[tuple[int, ...]], model: Mapping[int, bool]
+) -> list[tuple[int, ...]]:
+    """The clauses ``model`` fails to satisfy (empty list = all satisfied).
+
+    Variables absent from ``model`` count as False, matching the solver's
+    model extraction.
+    """
+    violated: list[tuple[int, ...]] = []
+    for clause in clauses:
+        for lit in clause:
+            value = model.get(abs(lit), False)
+            if value == (lit > 0):
+                break
+        else:
+            violated.append(clause)
+    return violated
+
+
+# ----------------------------------------------------------------------
+# FOL-level check: evaluate the original assertion under the named model
+# ----------------------------------------------------------------------
+
+
+def evaluate_formula(
+    formula: Formula, assignment: Mapping[str, bool], domains: Domains
+) -> bool:
+    """Truth value of ``formula`` under ``assignment``, quantifiers expanded.
+
+    Atoms missing from ``assignment`` default to False.  That is sound
+    here because simplification is equivalence-preserving: an atom the
+    solver never saw cannot influence the formula's truth value, so any
+    default completes the model without changing the outcome.
+    """
+
+    def ev(node: Formula, env: dict[Variable, Constant]) -> bool:
+        if isinstance(node, TrueFormula):
+            return True
+        if isinstance(node, FalseFormula):
+            return False
+        if isinstance(node, Predicate):
+            return assignment.get(render_atom(node, env), False)
+        if isinstance(node, Not):
+            return not ev(node.operand, env)
+        if isinstance(node, And):
+            return all(ev(op, env) for op in node.operands)
+        if isinstance(node, Or):
+            return any(ev(op, env) for op in node.operands)
+        if isinstance(node, Implies):
+            return (not ev(node.antecedent, env)) or ev(node.consequent, env)
+        if isinstance(node, Iff):
+            return ev(node.left, env) == ev(node.right, env)
+        if isinstance(node, Forall):
+            domain = domains.get(node.variable.sort, ())
+            return all(ev(node.body, {**env, node.variable: c}) for c in domain)
+        if isinstance(node, Exists):
+            domain = domains.get(node.variable.sort, ())
+            return any(ev(node.body, {**env, node.variable: c}) for c in domain)
+        raise SolverError(f"model check cannot evaluate node {node!r}")
+
+    return ev(formula, {})
+
+
+# ----------------------------------------------------------------------
+# Independent Herbrand expansion (grounding cross-check)
+# ----------------------------------------------------------------------
+
+
+def expand(formula: Formula, domains: Domains) -> Formula:
+    """Quantifier-free expansion of ``formula`` over ``domains``.
+
+    Mirrors the *specification* of the production grounder — forall
+    becomes the conjunction of the body over the variable's domain in
+    declaration order, exists the disjunction, empty domains collapse to
+    the vacuous constant — but is implemented independently (environment
+    passing instead of substitute-then-recurse).  Certification compares
+    its output tree against the production grounder's, node for node.
+    """
+
+    def subst_term(term: Term, env: dict[Variable, Constant]) -> Term:
+        if isinstance(term, Variable):
+            if term in env:
+                return env[term]
+            return term
+        if isinstance(term, Application):
+            return Application(
+                term.symbol, tuple(subst_term(a, env) for a in term.args)
+            )
+        return term
+
+    def walk(node: Formula, env: dict[Variable, Constant]) -> Formula:
+        if isinstance(node, (TrueFormula, FalseFormula)):
+            return node
+        if isinstance(node, Predicate):
+            if not env:
+                return node
+            return Predicate(
+                node.symbol, tuple(subst_term(a, env) for a in node.args)
+            )
+        if isinstance(node, Not):
+            return Not(walk(node.operand, env))
+        if isinstance(node, And):
+            return And(tuple(walk(op, env) for op in node.operands))
+        if isinstance(node, Or):
+            return Or(tuple(walk(op, env) for op in node.operands))
+        if isinstance(node, Implies):
+            return Implies(walk(node.antecedent, env), walk(node.consequent, env))
+        if isinstance(node, Iff):
+            return Iff(walk(node.left, env), walk(node.right, env))
+        if isinstance(node, (Forall, Exists)):
+            domain = domains.get(node.variable.sort, ())
+            instances = [
+                walk(node.body, {**env, node.variable: c}) for c in domain
+            ]
+            if isinstance(node, Forall):
+                return And(tuple(instances)) if instances else TrueFormula()
+            return Or(tuple(instances)) if instances else FalseFormula()
+        raise SolverError(f"model check cannot expand node {node!r}")
+
+    return walk(formula, {})
+
+
+# ----------------------------------------------------------------------
+# Independent EUF consistency check
+# ----------------------------------------------------------------------
+
+
+def euf_consistent(assignment: Iterable[tuple[str, bool]]) -> bool:
+    """Is the atom assignment consistent under EUF semantics?
+
+    A from-scratch congruence check: build equivalence classes of term
+    keys under the asserted equalities, close them under congruence
+    (same head, pairwise-equal arguments), then reject violated
+    disequalities and congruent predicate applications with opposite
+    truth values.
+    """
+    equalities: list[tuple[str, str]] = []
+    disequalities: list[tuple[str, str]] = []
+    applications: list[tuple[str, tuple[str, ...], bool]] = []
+    terms: set[str] = set()
+
+    for key, value in assignment:
+        name, args = _split_key(key)
+        if name == _EQ and len(args) == 2:
+            (equalities if value else disequalities).append((args[0], args[1]))
+            terms |= _subterm_keys(args[0]) | _subterm_keys(args[1])
+        else:
+            applications.append((name, args, value))
+            for arg in args:
+                terms |= _subterm_keys(arg)
+
+    parent: dict[str, str] = {t: t for t in terms}
+
+    def find(t: str) -> str:
+        while parent[t] != t:
+            parent[t] = parent[parent[t]]
+            t = parent[t]
+        return t
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for a, b in equalities:
+        union(a, b)
+
+    compound = [(t,) + _split_key(t) for t in terms if "(" in t]
+    changed = True
+    while changed:
+        changed = False
+        signatures: dict[tuple[str, tuple[str, ...]], str] = {}
+        for t, head, args in compound:
+            sig = (head, tuple(find(a) for a in args))
+            other = signatures.get(sig)
+            if other is None:
+                signatures[sig] = t
+            elif find(other) != find(t):
+                union(other, t)
+                changed = True
+
+    for a, b in disequalities:
+        if find(a) == find(b):
+            return False
+
+    by_signature: dict[tuple[str, tuple[str, ...]], bool] = {}
+    for name, args, value in applications:
+        sig = (name, tuple(find(a) for a in args))
+        if by_signature.setdefault(sig, value) != value:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Brute-force reference enumerator (differential-fuzzing oracle)
+# ----------------------------------------------------------------------
+
+
+def collect_atom_keys(formula: Formula, domains: Domains) -> list[str]:
+    """Sorted keys of every ground atom of the expanded formula."""
+    keys: set[str] = set()
+
+    def walk(node: Formula) -> None:
+        if isinstance(node, Predicate):
+            keys.add(render_atom(node))
+        elif isinstance(node, Not):
+            walk(node.operand)
+        elif isinstance(node, (And, Or)):
+            for op in node.operands:
+                walk(op)
+        elif isinstance(node, Implies):
+            walk(node.antecedent)
+            walk(node.consequent)
+        elif isinstance(node, Iff):
+            walk(node.left)
+            walk(node.right)
+
+    walk(expand(formula, domains))
+    return sorted(keys)
+
+
+def brute_force_status(
+    formulas: list[Formula], domains: Domains, *, max_atoms: int = 20
+) -> str:
+    """Reference answer ("sat"/"unsat") by exhaustive model enumeration.
+
+    Enumerates every assignment of the ground atoms appearing in the
+    expanded formulas, keeping only EUF-consistent ones.  Exponential by
+    construction — the fuzzer keeps formulas small; ``max_atoms`` guards
+    against accidental blow-ups.
+    """
+    keys: set[str] = set()
+    for formula in formulas:
+        keys.update(collect_atom_keys(formula, domains))
+    ordered = sorted(keys)
+    if len(ordered) > max_atoms:
+        raise SolverError(
+            f"brute-force reference over {len(ordered)} atoms refused "
+            f"(cap {max_atoms})"
+        )
+    for bits in range(1 << len(ordered)):
+        assignment = {
+            key: bool(bits >> i & 1) for i, key in enumerate(ordered)
+        }
+        if not all(evaluate_formula(f, assignment, domains) for f in formulas):
+            continue
+        if not euf_consistent(assignment.items()):
+            continue
+        return "sat"
+    return "unsat"

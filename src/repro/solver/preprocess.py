@@ -10,9 +10,16 @@ variables.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
+from repro.errors import BudgetExceededError
 from repro.solver.literals import Clause
+
+
+def _check_deadline(deadline: float | None) -> None:
+    if deadline is not None and time.monotonic() > deadline:
+        raise BudgetExceededError("wall-clock timeout")
 
 
 @dataclass(slots=True)
@@ -47,10 +54,13 @@ def _normalize(clause: Clause) -> Clause | None:
     return unique
 
 
-def propagate_units(result: PreprocessResult) -> None:
+def propagate_units(
+    result: PreprocessResult, *, deadline: float | None = None
+) -> None:
     """Fix unit clauses and simplify the clause set to fixpoint."""
     changed = True
     while changed and not result.conflict:
+        _check_deadline(deadline)
         changed = False
         remaining: list[Clause] = []
         for clause in result.clauses:
@@ -86,7 +96,9 @@ def propagate_units(result: PreprocessResult) -> None:
         result.clauses = remaining
 
 
-def remove_subsumed(result: PreprocessResult) -> None:
+def remove_subsumed(
+    result: PreprocessResult, *, deadline: float | None = None
+) -> None:
     """Drop clauses that are supersets of another clause.
 
     Uses the smallest-clause-first ordering with set containment; fine for
@@ -95,7 +107,9 @@ def remove_subsumed(result: PreprocessResult) -> None:
     ordered = sorted(result.clauses, key=len)
     kept: list[Clause] = []
     kept_sets: list[frozenset[int]] = []
-    for clause in ordered:
+    for i, clause in enumerate(ordered):
+        if i % 256 == 0:
+            _check_deadline(deadline)
         clause_set = frozenset(clause)
         if any(k <= clause_set for k in kept_sets):
             result.stats.subsumed_removed += 1
@@ -106,7 +120,10 @@ def remove_subsumed(result: PreprocessResult) -> None:
 
 
 def eliminate_pure_literals(
-    result: PreprocessResult, *, protect: frozenset[int] = frozenset()
+    result: PreprocessResult,
+    *,
+    protect: frozenset[int] = frozenset(),
+    deadline: float | None = None,
 ) -> None:
     """Fix variables that occur with only one polarity.
 
@@ -117,6 +134,7 @@ def eliminate_pure_literals(
     """
     changed = True
     while changed and not result.conflict:
+        _check_deadline(deadline)
         changed = False
         polarity: dict[int, int] = {}
         for clause in result.clauses:
@@ -146,11 +164,14 @@ def preprocess(
     *,
     pure_literals: bool = False,
     protect: frozenset[int] = frozenset(),
+    deadline: float | None = None,
 ) -> PreprocessResult:
     """Run the presolving pipeline over ``clauses``.
 
     Returns the reduced clause set, fixed assignments, and a conflict flag
-    (True means the input is unsatisfiable outright).
+    (True means the input is unsatisfiable outright).  ``deadline`` (a
+    ``time.monotonic`` instant) aborts presolving with a wall-clock
+    :class:`BudgetExceededError`, mirroring the search-time budget.
     """
     result = PreprocessResult()
     seen: set[Clause] = set()
@@ -165,11 +186,11 @@ def preprocess(
         seen.add(normalized)
         result.clauses.append(normalized)
 
-    propagate_units(result)
+    propagate_units(result, deadline=deadline)
     if result.conflict:
         return result
-    remove_subsumed(result)
-    propagate_units(result)
+    remove_subsumed(result, deadline=deadline)
+    propagate_units(result, deadline=deadline)
     if not result.conflict and pure_literals:
-        eliminate_pure_literals(result, protect=protect)
+        eliminate_pure_literals(result, protect=protect, deadline=deadline)
     return result

@@ -51,19 +51,70 @@ class SolverStatistics:
         }
 
 
+#: Marker prefixed to UNKNOWN reasons produced by a failed certification.
+#: Downstream layers (degradation ladder, CLI exit codes) key off it.
+CERTIFICATION_FAILED = "certification failed"
+
+
+@dataclass(slots=True)
+class CertificateReport:
+    """What the trust-but-verify layer checked for one verdict.
+
+    ``status`` is ``"certified"`` when every applicable check passed,
+    ``"failed"`` when any check found the verdict unsupported (a soundness
+    alarm — the verdict is demoted to UNKNOWN), and ``"skipped"`` when the
+    check was declined (e.g. the proof outgrew the replay cap); a skipped
+    certificate leaves the verdict standing but says so.
+    """
+
+    verdict: str = ""  # "sat" | "unsat"
+    status: str = "certified"  # "certified" | "failed" | "skipped"
+    checks: list[str] = field(default_factory=list)  # checks that ran, in order
+    failures: list[str] = field(default_factory=list)
+    proof_events: int = 0
+    lemmas_certified: int = 0
+    seconds: float = 0.0
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
+
+    @property
+    def certified(self) -> bool:
+        return self.status == "certified"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "verdict": self.verdict,
+            "status": self.status,
+            "checks": list(self.checks),
+            "failures": list(self.failures),
+            "proof_events": self.proof_events,
+            "lemmas_certified": self.lemmas_certified,
+        }
+
+    def summary(self) -> str:
+        line = f"certificate: {self.status} ({', '.join(self.checks) or 'no checks'})"
+        for failure in self.failures:
+            line += f"\n  ! {failure}"
+        return line
+
+
 @dataclass(slots=True)
 class SolverResult:
     """A check-sat outcome plus diagnostics.
 
     ``reason`` explains UNKNOWN outcomes ("conflict budget exhausted",
-    "wall-clock timeout", "grounding budget exhausted").  ``model`` maps
-    atom keys to booleans for SAT outcomes.
+    "wall-clock timeout", "grounding budget exhausted", "certification
+    failed: ...").  ``model`` maps atom keys to booleans for SAT
+    outcomes.  ``certificate`` is attached when certification ran.
     """
 
     status: SatResult
     reason: str = ""
     model: dict[str, bool] = field(default_factory=dict)
     statistics: SolverStatistics = field(default_factory=SolverStatistics)
+    certificate: CertificateReport | None = None
 
     @property
     def is_sat(self) -> bool:

@@ -14,6 +14,8 @@ from __future__ import annotations
 import time
 
 from repro.errors import BudgetExceededError, SolverError
+from repro.solver import faults as _faults
+from repro.solver.proof import ProofLog
 from repro.solver.result import SatResult, SolverStatistics
 
 _UNASSIGNED = 0
@@ -83,6 +85,11 @@ class CDCLSolver:
         self._clause_activity: dict[int, float] = {}
         self._clause_activity_inc = 1.0
         self._max_learned = 4000
+        # Optional clausal proof log (attach before adding clauses).  Input
+        # clauses are recorded pre-pruning so the log stands on its own;
+        # learned clauses, theory lemmas, and deletions follow in database
+        # order.  See repro.solver.proof.
+        self.proof: ProofLog | None = None
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -98,10 +105,17 @@ class CDCLSolver:
             self._phases.append(False)
             self._activity.append(0.0)
 
-    def add_clause(self, lits: tuple[int, ...] | list[int]) -> bool:
+    def add_clause(
+        self,
+        lits: tuple[int, ...] | list[int],
+        *,
+        theory_premise: tuple[tuple[str, bool], ...] | None = None,
+    ) -> bool:
         """Add a clause; returns False when it makes the problem trivially unsat.
 
         Must be called at decision level 0 (between solves).
+        ``theory_premise`` marks the clause as a theory lemma and records
+        the T-inconsistent assignment it excludes in the proof log.
         """
         if self._trail_limits:
             raise SolverError("add_clause called mid-solve")
@@ -109,6 +123,13 @@ class CDCLSolver:
         for lit in unique:
             if -lit in unique:
                 return True  # tautology
+        if self.proof is not None:
+            # Log the clause before level-0 pruning: the checker re-derives
+            # the pruning by unit propagation, so the log needs the original.
+            if theory_premise is not None:
+                self.proof.log_theory(unique, theory_premise)
+            else:
+                self.proof.log_input(unique)
         self.ensure_vars(max((abs(l) for l in unique), default=0))
         # Remove literals already false at level 0; detect satisfied clauses.
         pruned: list[int] = []
@@ -180,6 +201,15 @@ class CDCLSolver:
                 and self._propagations_this_solve > self.max_propagations
             ):
                 raise BudgetExceededError("propagation budget exhausted")
+            # The deadline also has to be honoured *inside* a propagation
+            # pass: a single implication chain can run arbitrarily long
+            # before control returns to _check_budgets in the outer loop.
+            if (
+                self.deadline is not None
+                and self._propagations_this_solve % 1024 == 0
+                and time.monotonic() > self.deadline
+            ):
+                raise BudgetExceededError("wall-clock timeout")
             false_lit = -lit
             watching = self._watches.get(false_lit)
             if not watching:
@@ -307,6 +337,8 @@ class CDCLSolver:
             return
         candidates.sort(key=lambda ci: self._clause_activity.get(ci, 0.0))
         for ci in candidates[: len(candidates) // 2]:
+            if self.proof is not None:
+                self.proof.log_delete(self._clauses[ci])
             self._clauses[ci] = None
             self._clause_activity.pop(ci, None)
         self._learned_indices = [
@@ -419,6 +451,12 @@ class CDCLSolver:
                     # set (under these assumptions) is unsatisfiable.
                     return SatResult.UNSAT
                 learned, back_level = self._analyze(conflict)
+                learned = _faults.mutate("cdcl.learned_clause", learned)
+                if self.proof is not None:
+                    # Log after the mutation seam: the proof must describe
+                    # the clause the search actually uses, or a corrupted
+                    # clause could pass the replay.
+                    self.proof.log_learn(learned)
                 back_level = max(back_level, self._assumption_floor)
                 self._backtrack(back_level)
                 if len(learned) == 1 and back_level == 0:
@@ -451,9 +489,13 @@ class CDCLSolver:
 
             decision = self._decide()
             if decision == 0:
-                self._model = {
-                    v: self._values[v] == _TRUE for v in range(1, self._num_vars + 1)
-                }
+                self._model = _faults.mutate(
+                    "cdcl.model",
+                    {
+                        v: self._values[v] == _TRUE
+                        for v in range(1, self._num_vars + 1)
+                    },
+                )
                 return SatResult.SAT
             self.stats.decisions += 1
             self._trail_limits.append(len(self._trail))

@@ -10,6 +10,7 @@ congruence axioms up front).
 from __future__ import annotations
 
 from repro.errors import BudgetExceededError
+from repro.solver import faults as _faults
 from repro.solver.euf import EQ_PREDICATE, check_euf, parse_atom
 from repro.solver.literals import AtomPool
 from repro.solver.result import SatResult, SolverStatistics
@@ -55,16 +56,22 @@ def solve_with_theory(
         assignment = [
             (key, model[var]) for key, var in named.items() if var in model
         ]
-        conflict = check_euf(assignment)
+        conflict = _faults.mutate("theory.conflict", check_euf(assignment))
         if conflict is None:
             return SatResult.SAT
 
         stats.theory_conflicts += 1
-        blocking = tuple(
-            -pool.variable_for(key) if value else pool.variable_for(key)
-            for key, value in conflict
+        blocking = _faults.mutate(
+            "theory.blocking_clause",
+            tuple(
+                -pool.variable_for(key) if value else pool.variable_for(key)
+                for key, value in conflict
+            ),
         )
-        if not sat.add_clause(blocking):
+        # The lemma's premise (the T-inconsistent assignment it excludes)
+        # rides along into the proof log so the certification layer can
+        # re-check the congruence conflict independently.
+        if not sat.add_clause(blocking, theory_premise=tuple(conflict)):
             return SatResult.UNSAT
 
     raise BudgetExceededError("theory round budget exhausted")

@@ -1,0 +1,179 @@
+"""Differential fuzzing: the SMT substrate vs a brute-force reference.
+
+Generates seeded random FOL formulas — ground and quantified, boolean and
+EUF (equality over constants and uninterpreted function terms) — and
+cross-checks the production solver's verdict against
+:func:`repro.solver.modelcheck.brute_force_status`, which shares no code
+with the CDCL/DPLL(T) stack: it enumerates every assignment of the
+appearing atoms and filters by an independent congruence check.
+
+Any disagreement is a soundness or completeness bug in one of the two
+implementations; the suite requires **zero** disagreements over 600+
+formulas.  A second pass re-runs a sample with certification enabled and
+requires every certificate to pass (the certifier must not raise false
+alarms on correct verdicts).
+
+Marked ``fuzz``: the fast CI lane deselects it with ``-m "not fuzz"``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fol.formula import (
+    And,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    PredicateSymbol,
+)
+from repro.fol.terms import Constant, FunctionSymbol, Sort, Variable
+from repro.solver import CertificationConfig, SatResult, Solver
+from repro.solver.modelcheck import brute_force_status, collect_atom_keys
+
+pytestmark = pytest.mark.fuzz
+
+S = Sort("S")
+A = Constant("a", S)
+B = Constant("b", S)
+CONSTANTS = (A, B)
+X = Variable("x", S)
+P = PredicateSymbol("p", (S,))
+EQ = PredicateSymbol("=", (S, S))
+F = FunctionSymbol("f", (S,), S)
+PROPS = tuple(PredicateSymbol(f"q{i}", ()) for i in range(3))
+
+MAX_ATOMS = 8  # brute force enumerates 2^MAX_ATOMS assignments
+FORMULAS_PER_SEED = 60
+SEEDS = range(10)  # 10 x 60 = 600 formulas, fuzzer floor is 500
+
+
+class FormulaGenerator:
+    """Seeded random formula source; deterministic per seed."""
+
+    def __init__(self, seed: int, *, euf: bool) -> None:
+        self.rng = random.Random(seed)
+        self.euf = euf
+
+    def term(self, bound):
+        choices = list(CONSTANTS) + list(bound)
+        term = self.rng.choice(choices)
+        if self.euf and self.rng.random() < 0.3:
+            return F(term)
+        return term
+
+    def atom(self, bound) -> Formula:
+        roll = self.rng.random()
+        if self.euf and roll < 0.4:
+            return EQ(self.term(bound), self.term(bound))
+        if roll < 0.7:
+            return P(self.term(bound))
+        return self.rng.choice(PROPS)()
+
+    def formula(self, depth: int, bound=()) -> Formula:
+        if depth <= 0 or self.rng.random() < 0.3:
+            return self.atom(bound)
+        kind = self.rng.randrange(6)
+        if kind == 0:
+            return Not(self.formula(depth - 1, bound))
+        if kind == 1:
+            return And(
+                tuple(
+                    self.formula(depth - 1, bound)
+                    for _ in range(self.rng.randint(2, 3))
+                )
+            )
+        if kind == 2:
+            return Or(
+                tuple(
+                    self.formula(depth - 1, bound)
+                    for _ in range(self.rng.randint(2, 3))
+                )
+            )
+        if kind == 3:
+            return Implies(
+                self.formula(depth - 1, bound), self.formula(depth - 1, bound)
+            )
+        if kind == 4:
+            return Iff(
+                self.formula(depth - 1, bound), self.formula(depth - 1, bound)
+            )
+        variable = Variable(f"x{len(bound)}", S)
+        body = self.formula(depth - 1, bound + (variable,))
+        cls = Forall if self.rng.random() < 0.5 else Exists
+        return cls(variable, body)
+
+    def case(self) -> list[Formula]:
+        """A conjunction of 1-3 assertions, capped at MAX_ATOMS atoms."""
+        domains = {S: CONSTANTS}
+        while True:
+            formulas = [
+                self.formula(3) for _ in range(self.rng.randint(1, 3))
+            ]
+            keys: set[str] = set()
+            for formula in formulas:
+                keys.update(collect_atom_keys(formula, domains))
+            if 0 < len(keys) <= MAX_ATOMS:
+                return formulas
+
+
+def solve(formulas, *, certify: bool = False):
+    solver = Solver(
+        certification=CertificationConfig() if certify else None
+    )
+    for constant in CONSTANTS:
+        solver.declare_constant(constant)
+    for formula in formulas:
+        solver.assert_formula(formula)
+    return solver.check_sat()
+
+
+def reference_status(formulas) -> str:
+    return brute_force_status(formulas, {S: CONSTANTS}, max_atoms=MAX_ATOMS)
+
+
+class TestDifferentialFuzz:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_solver_agrees_with_brute_force(self, seed):
+        generator = FormulaGenerator(seed, euf=seed % 2 == 1)
+        disagreements = []
+        for index in range(FORMULAS_PER_SEED):
+            formulas = generator.case()
+            result = solve(formulas)
+            expected = reference_status(formulas)
+            if result.status.value != expected:
+                disagreements.append(
+                    (index, expected, result.status.value, formulas)
+                )
+        assert disagreements == []
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_certification_never_false_alarms_on_fuzzed_formulas(self, seed):
+        """Certified verdicts on random formulas: same answer as the
+        uncertified run, and every certificate passes."""
+        generator = FormulaGenerator(100 + seed, euf=True)
+        for _ in range(25):
+            formulas = generator.case()
+            plain = solve(formulas)
+            certified = solve(formulas, certify=True)
+            assert certified.status is plain.status
+            if certified.status is not SatResult.UNKNOWN:
+                report = certified.certificate
+                assert report is not None
+                assert report.certified, report.failures
+
+    def test_fuzzer_volume_meets_the_floor(self):
+        assert len(SEEDS) * FORMULAS_PER_SEED >= 500
+
+    def test_generator_is_deterministic(self):
+        first = FormulaGenerator(7, euf=True)
+        second = FormulaGenerator(7, euf=True)
+        assert [first.case() for _ in range(5)] == [
+            second.case() for _ in range(5)
+        ]
