@@ -34,7 +34,8 @@ from repro.core.pipeline import (
     UpdateStats,
 )
 from repro.core.verify import Verdict, VerificationResult
-from repro.errors import ReproError, SnapshotError
+from repro.errors import JobError, ReproError, SnapshotError
+from repro.jobs import JobConfig, JobResult, JobRunner
 from repro.resilience import BudgetLadder, DegradationReport
 from repro.solver.interface import SolverBudget
 from repro.store import AuditReport, SnapshotStore
@@ -55,6 +56,10 @@ __all__ = [
     "SolverBudget",
     "BudgetLadder",
     "DegradationReport",
+    "JobConfig",
+    "JobError",
+    "JobResult",
+    "JobRunner",
     "SnapshotStore",
     "AuditReport",
     "ReproError",

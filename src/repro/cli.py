@@ -11,6 +11,9 @@ Usage (also available as ``python -m repro``)::
     repro-policy snapshot save POLICY.txt --store DIR
     repro-policy snapshot load --store DIR
     repro-policy snapshot audit --store DIR [--policy POLICY.txt] [--heal]
+    repro-policy batch run POLICY.txt QUERIES.txt --checkpoint DIR \\
+        [--max-pending N] [--stall-after S] [--timeout S]
+    repro-policy batch resume POLICY.txt --checkpoint DIR
 
 Every command runs fully offline on the bundled substrates.
 """
@@ -44,6 +47,9 @@ exit codes:
   5  certification failure: the solver produced an answer its independent
      checker could not reproduce (soundness alarm; verdict demoted to
      UNKNOWN, offending formula quarantined with --quarantine)
+  6  job aborted with a partial checkpoint: a `batch` run drained on
+     SIGINT/SIGTERM before finishing; completed verdicts are committed to
+     the checkpoint journal and `batch resume` picks up the rest
 """
 
 
@@ -105,6 +111,28 @@ def _resilient_pipeline(args: argparse.Namespace) -> PolicyPipeline:
     return PolicyPipeline(llm=llm, config=PipelineConfig(budget_ladder=ladder))
 
 
+def _apply_query_timeout(pipeline: PolicyPipeline, timeout: float | None) -> None:
+    """Compose a per-query wall-clock ceiling onto the solver budget.
+
+    The effective deadline is ``min(configured, --timeout)`` — tightening
+    only, so the paper-calibrated default never silently grows; without
+    ``--timeout`` the budget is untouched.
+    """
+    if timeout is None:
+        return
+    if timeout <= 0:
+        raise ReproError(f"--timeout must be > 0, got {timeout}")
+    from dataclasses import replace
+
+    base = pipeline.config.solver_budget
+    effective = (
+        timeout
+        if base.timeout_seconds is None
+        else min(base.timeout_seconds, timeout)
+    )
+    pipeline.config.solver_budget = replace(base, timeout_seconds=effective)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core.verify import is_certification_failure
 
@@ -115,6 +143,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         pipeline.config.certify = args.certify
     if args.quarantine:
         pipeline.config.certification_quarantine_dir = args.quarantine
+    _apply_query_timeout(pipeline, args.timeout)
     if args.from_snapshot:
         model = pipeline.load_model(args.from_snapshot)
     else:
@@ -246,6 +275,96 @@ def _cmd_snapshot_audit(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _read_questions(path: str) -> list[str]:
+    """One question per line; blank lines and ``#`` comments are skipped."""
+    questions = [
+        line.strip()
+        for line in Path(path).read_text("utf-8").splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if not questions:
+        raise ReproError(f"queries file {path} contains no questions")
+    return questions
+
+
+def _job_config(args: argparse.Namespace):
+    from repro.jobs import JobConfig
+
+    return JobConfig(
+        max_workers=args.workers,
+        max_pending=args.max_pending,
+        shed_above=args.shed_above,
+        stall_after=args.stall_after,
+        checkpoint_dir=args.checkpoint,
+        query_timeout=args.timeout,
+    )
+
+
+def _render_job_result(result, args: argparse.Namespace) -> None:
+    from repro.jobs import CheckpointedOutcome
+
+    for index, outcome in enumerate(result.outcomes):
+        if outcome is None:
+            print(f"[{index}] PENDING  {result.questions[index]}")
+            continue
+        marker = (
+            " (restored)" if isinstance(outcome, CheckpointedOutcome) else ""
+        )
+        print(f"[{index}] {outcome.verdict.value:8s} {result.questions[index]}{marker}")
+    print(result.summary())
+    for report in result.stalls:
+        print(f"stall: {report.summary()}", file=sys.stderr)
+    if result.aborted and result.checkpoint_dir:
+        print(
+            f"job aborted; resume with: batch resume --checkpoint "
+            f"{result.checkpoint_dir}",
+            file=sys.stderr,
+        )
+    if args.stats:
+        print("\n--- pipeline metrics ---")
+        print(result.metrics.render())
+    if args.json:
+        from repro.store.atomic import atomic_write_json
+
+        atomic_write_json(args.json, result.as_dict())
+        print(f"wrote JSON results to {args.json}")
+
+
+def _job_exit_code(result) -> int:
+    # 6 = aborted with a partial checkpoint (resumable); 3 = completed but
+    # some queries failed (isolated errors); 0 = every query answered.
+    if result.aborted:
+        return 6
+    if result.errors:
+        return 3
+    return 0
+
+
+def _cmd_batch_run(args: argparse.Namespace) -> int:
+    from repro.jobs import JobRunner
+
+    pipeline = PolicyPipeline()
+    _apply_query_timeout(pipeline, args.timeout)
+    model = pipeline.process(_read_policy(args.policy))
+    questions = _read_questions(args.queries)
+    runner = JobRunner(pipeline, model, _job_config(args))
+    result = runner.run(questions)
+    _render_job_result(result, args)
+    return _job_exit_code(result)
+
+
+def _cmd_batch_resume(args: argparse.Namespace) -> int:
+    from repro.jobs import JobRunner
+
+    pipeline = PolicyPipeline()
+    _apply_query_timeout(pipeline, args.timeout)
+    model = pipeline.process(_read_policy(args.policy))
+    runner = JobRunner(pipeline, model, _job_config(args))
+    result = runner.resume()
+    _render_job_result(result, args)
+    return _job_exit_code(result)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-policy",
@@ -325,6 +444,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for formulas whose verdict failed certification "
         "(written as cert-<digest>/formula.smt2 + report.json)",
     )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        metavar="S",
+        help="per-query wall-clock ceiling in seconds, composed onto the "
+        "solver deadline as min(configured, S); default unchanged",
+    )
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("audit", help="contradiction and coverage report")
@@ -388,6 +514,95 @@ def build_parser() -> argparse.ArgumentParser:
         "and recommit (requires --policy)",
     )
     s.set_defaults(func=_cmd_snapshot_audit)
+
+    p = sub.add_parser(
+        "batch",
+        help="supervised batch jobs (run / resume with checkpointing)",
+        epilog=EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    batch = p.add_subparsers(dest="batch_command", required=True)
+
+    def _add_batch_options(sp, *, checkpoint_required: bool) -> None:
+        sp.add_argument(
+            "--checkpoint",
+            metavar="DIR",
+            required=checkpoint_required,
+            help="checkpoint journal directory (append-only, fsync'd); "
+            "enables crash/Ctrl-C resume via `batch resume`",
+        )
+        sp.add_argument(
+            "--workers",
+            type=int,
+            metavar="N",
+            help="worker threads (default: min(8, pending queries))",
+        )
+        sp.add_argument(
+            "--max-pending",
+            type=int,
+            default=64,
+            metavar="N",
+            help="admission-queue bound: at most N queries in flight or "
+            "queued; feeding blocks above it (default: 64)",
+        )
+        sp.add_argument(
+            "--shed-above",
+            type=int,
+            metavar="N",
+            help="load-shed instead of queueing once N queries are pending "
+            "(each shed query answers UNKNOWN immediately; default: off)",
+        )
+        sp.add_argument(
+            "--stall-after",
+            type=float,
+            metavar="S",
+            help="watchdog threshold: a query running S seconds without a "
+            "heartbeat is cancelled, its worker replaced, and its slot "
+            "answered UNKNOWN with a stall report (default: off)",
+        )
+        sp.add_argument(
+            "--timeout",
+            type=float,
+            metavar="S",
+            help="per-query wall-clock ceiling composed onto the solver "
+            "deadline as min(configured, S); default unchanged",
+        )
+        sp.add_argument(
+            "--stats",
+            action="store_true",
+            help="print merged pipeline metrics for the job",
+        )
+        sp.add_argument(
+            "--json",
+            metavar="FILE",
+            help="write the full structured JobResult to FILE",
+        )
+
+    s = batch.add_parser(
+        "run",
+        help="run a query suite under supervision (watchdog, admission "
+        "control, graceful drain, checkpointing)",
+        epilog=EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    s.add_argument("policy", help="path to a policy text file")
+    s.add_argument(
+        "queries",
+        help="path to a queries file (one question per line, # comments)",
+    )
+    _add_batch_options(s, checkpoint_required=False)
+    s.set_defaults(func=_cmd_batch_run)
+
+    s = batch.add_parser(
+        "resume",
+        help="resume a checkpointed job: restore committed verdicts, "
+        "re-execute only pending queries",
+        epilog=EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    s.add_argument("policy", help="path to the policy text file of the job")
+    _add_batch_options(s, checkpoint_required=True)
+    s.set_defaults(func=_cmd_batch_resume)
 
     return parser
 

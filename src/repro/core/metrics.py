@@ -52,6 +52,15 @@ class PipelineMetrics:
     audits_run: int = 0  # structural/parity audits executed
     audit_failures: int = 0  # audits that reported findings
     audit_heals: int = 0  # models auto-healed after a failed parity audit
+    # Job-supervision accounting (repro.jobs): per-run counters attached
+    # to each JobResult.metrics.
+    queue_high_water: int = 0  # peak admission-queue depth (merged by max)
+    shed_queries: int = 0  # queries refused by admission control
+    stalled_queries: int = 0  # hung queries converted to UNKNOWN + StallReport
+    workers_replaced: int = 0  # workers the watchdog cancelled and replaced
+    checkpoint_records: int = 0  # outcomes appended to the checkpoint journal
+    checkpoint_restored: int = 0  # outcomes restored from the journal on resume
+    jobs_aborted: int = 0  # graceful drains (SIGINT/SIGTERM or request_drain)
 
     @property
     def cache_hits(self) -> int:
@@ -72,12 +81,18 @@ class PipelineMetrics:
             return 0.0
         return self.cache_hits / total
 
+    #: Gauges folded by max instead of sum: a batch's peak queue depth is
+    #: the largest any constituent saw, not their total.
+    _MAX_MERGED = frozenset({"queue_high_water"})
+
     def merge(self, other: "PipelineMetrics") -> None:
-        """Fold ``other`` into this instance (all counters are additive)."""
+        """Fold ``other`` into this instance (counters add, gauges max)."""
         for spec in fields(self):
-            setattr(
-                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
-            )
+            mine, theirs = getattr(self, spec.name), getattr(other, spec.name)
+            if spec.name in self._MAX_MERGED:
+                setattr(self, spec.name, max(mine, theirs))
+            else:
+                setattr(self, spec.name, mine + theirs)
 
     def as_dict(self) -> dict[str, object]:
         out: dict[str, object] = {}
@@ -121,6 +136,12 @@ class PipelineMetrics:
             f"{self.snapshot_journal_recoveries} journal recoveries); "
             f"audits: {self.audits_run} run, {self.audit_failures} failed, "
             f"{self.audit_heals} healed",
+            f"jobs: queue high-water {self.queue_high_water}, "
+            f"{self.shed_queries} shed, {self.stalled_queries} stalled "
+            f"({self.workers_replaced} workers replaced); "
+            f"checkpoint: {self.checkpoint_records} written, "
+            f"{self.checkpoint_restored} restored, "
+            f"{self.jobs_aborted} drains",
         ]
         return "\n".join(lines)
 

@@ -120,6 +120,11 @@ class PipelineConfig:
     # Directory for quarantined formulas whose verdict failed
     # certification; None disables quarantine (the alarm still fires).
     certification_quarantine_dir: str | Path | None = None
+    # Default supervision settings for run_job/resume_job (watchdog,
+    # admission control, checkpointing); None means plain JobConfig()
+    # defaults.  Annotated lazily to keep repro.jobs import-free here —
+    # the jobs package imports this module, never the reverse.
+    jobs: "JobConfig | None" = None  # noqa: F821 - resolved lazily
 
 
 @dataclass(slots=True)
@@ -874,6 +879,14 @@ class PolicyPipeline:
         the failing stage and exception — instead of aborting the executor
         and discarding the verdicts of every other query.  Pass
         ``isolate_faults=False`` to re-raise the first failure instead.
+        Isolation stops at :class:`Exception`: ``KeyboardInterrupt``,
+        ``SystemExit``, and other :class:`BaseException`\\ s raised inside a
+        worker propagate as batch cancellation (pending queries are
+        cancelled, the executor shut down) — an operator interrupt must
+        never be laundered into a per-query ERROR verdict.  For batches
+        that should *survive* interruption, use
+        :meth:`run_job`/:class:`repro.jobs.JobRunner`, which drains
+        gracefully and checkpoints instead.
 
         Certification is *sampled* in batches: with
         ``PipelineConfig.certify`` on, every
@@ -910,13 +923,57 @@ class PolicyPipeline:
             outcomes = [run(i, q) for i, q in enumerate(questions)]
         else:
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                outcomes = list(pool.map(run, range(len(questions)), questions))
+                try:
+                    outcomes = list(pool.map(run, range(len(questions)), questions))
+                except BaseException:
+                    # A worker re-raised a non-Exception (KeyboardInterrupt,
+                    # SystemExit, a simulated kill): cancel everything not
+                    # yet started so the interrupt is honoured promptly
+                    # instead of burning through the remaining fan-out.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
         return BatchOutcome(
             outcomes=outcomes,
             metrics=merged([o.metrics for o in outcomes]),
             seconds=time.perf_counter() - started,
             max_workers=max_workers,
         )
+
+    # ------------------------------------------------------------------
+    # Supervised jobs
+    # ------------------------------------------------------------------
+
+    def run_job(
+        self,
+        model: PolicyModel,
+        questions: Iterable[str],
+        *,
+        job_config=None,
+    ):
+        """Run a question suite under supervision (see :mod:`repro.jobs`).
+
+        The supervised twin of :meth:`query_batch`: heartbeat watchdog,
+        bounded admission, graceful drain on SIGINT/SIGTERM, and — with a
+        checkpoint directory configured — crash-resumable journaling.
+        ``job_config`` overrides :attr:`PipelineConfig.jobs` for this run.
+        Returns a :class:`repro.jobs.JobResult`.
+        """
+        from repro.jobs.runner import JobRunner
+
+        return JobRunner(self, model, job_config).run(questions)
+
+    def resume_job(self, model: PolicyModel, *, job_config=None):
+        """Resume a checkpointed job: restore committed results, run the rest.
+
+        Requires a checkpoint directory (on ``job_config`` or
+        :attr:`PipelineConfig.jobs`) whose journal header names the
+        original question suite.  Restored outcomes are byte-identical
+        (trace for trace) to what the interrupted run committed; only
+        pending queries execute.
+        """
+        from repro.jobs.runner import JobRunner
+
+        return JobRunner(self, model, job_config).resume()
 
     # ------------------------------------------------------------------
     # Persistence

@@ -96,6 +96,10 @@ class CorpusError(ReproError):
     """A bundled or generated policy could not be produced."""
 
 
+class JobError(ReproError):
+    """A supervised batch job was misconfigured or cannot resume."""
+
+
 class SnapshotError(ReproError):
     """Base class for model-store persistence failures."""
 

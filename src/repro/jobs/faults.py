@@ -1,0 +1,124 @@
+"""Deterministic fault injection for the job-supervision test suites.
+
+Complements :mod:`repro.resilience.faults` (content-keyed LLM faults) and
+:mod:`repro.store.faults` (crash-step injection, which the checkpoint
+kill-matrix reuses directly) with the two primitives supervision tests
+need:
+
+* :class:`FakeClock` — a manually advanced monotonic clock, so watchdog
+  stall detection is exercised with zero real waiting and no scheduler
+  dependence;
+* :class:`HangingQueryFn` — a ``query_fn`` seam for
+  :class:`~repro.jobs.runner.JobRunner` that hangs *designated questions*
+  (by exact text, never by call order) until cooperatively cancelled or
+  explicitly released, modelling a wedged worker the watchdog must
+  replace.
+
+Test infrastructure, not production code: nothing in the jobs package
+imports this module.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class FakeClock:
+    """Deterministic clock: time moves only when the test advances it.
+
+    ``sleep`` advances time instead of waiting, so code paths that pace
+    themselves off the clock run instantly under test.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> float:
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+
+class HangingQueryFn:
+    """A ``query_fn`` that hangs designated questions until cancelled.
+
+    Non-designated questions delegate to ``pipeline.query`` with the same
+    signature the runner's default uses.  A designated question sets
+    ``hang_started`` (so the test knows the worker is wedged), then blocks
+    until either the test calls :meth:`release` or the runner's watchdog
+    cancels the worker — the cooperative-cancellation path a replaced
+    worker takes to retire instead of leaking forever.
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        model,
+        *,
+        hang_questions: tuple[str, ...] = (),
+        poll: float = 0.005,
+    ) -> None:
+        self.pipeline = pipeline
+        self.model = model
+        self._hang = {q.strip().lower() for q in hang_questions}
+        self._poll = poll
+        self.hang_started = threading.Event()
+        self._release = threading.Event()
+        self.hangs = 0
+        self.cancelled_hangs = 0
+        self._lock = threading.Lock()
+
+    def is_designated(self, question: str) -> bool:
+        return question.strip().lower() in self._hang
+
+    def release(self) -> None:
+        """Un-wedge every hanging (and future designated) call."""
+        self._release.set()
+
+    def __call__(self, index, question, certify, heartbeat):
+        if self.is_designated(question) and not self._release.is_set():
+            with self._lock:
+                self.hangs += 1
+            self.hang_started.set()
+            # Real waiting (tiny poll), but bounded by cancel/release —
+            # the hang models lost liveness, not lost CPU.
+            while not self._release.is_set():
+                if heartbeat.cancelled.is_set():
+                    with self._lock:
+                        self.cancelled_hangs += 1
+                    # The runner discards any result from a cancelled
+                    # worker; return value is irrelevant by construction.
+                    return self.pipeline.query(
+                        self.model, question, certify=certify
+                    )
+                heartbeat.cancelled.wait(self._poll)
+        return self.pipeline.query(self.model, question, certify=certify)
+
+
+class CountingQueryFn:
+    """A ``query_fn`` that counts executions per question (thread-safe).
+
+    The crash-resume suites use it to prove no query is executed twice
+    past its committed checkpoint record.
+    """
+
+    def __init__(self, pipeline, model) -> None:
+        self.pipeline = pipeline
+        self.model = model
+        self.executions: dict[str, int] = {}
+        self.by_index: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    def __call__(self, index, question, certify, heartbeat):
+        with self._lock:
+            self.executions[question] = self.executions.get(question, 0) + 1
+            self.by_index[index] = self.by_index.get(index, 0) + 1
+        return self.pipeline.query(self.model, question, certify=certify)

@@ -1,0 +1,749 @@
+"""Supervised batch jobs: the :class:`JobRunner` around ``query_batch``.
+
+``PolicyPipeline.query_batch`` fans a question suite over worker threads
+and isolates per-query *exceptions* — but a hung worker stalls the whole
+batch forever, a process kill discards every finished verdict, and there
+is no admission bound between a flooding caller and worker memory.  The
+runner adds the three supervision layers a long-running audit needs:
+
+* **liveness** — per-query heartbeats scanned by a
+  :class:`~repro.jobs.watchdog.Watchdog`; a stalled query is cooperatively
+  cancelled, its worker replaced, and its slot filled with a structured
+  UNKNOWN (:class:`StallOutcome` carrying a
+  :class:`~repro.jobs.watchdog.StallReport`) — never a silent hang;
+* **admission** — a bounded queue (:class:`AdmissionQueue`): batch feeding
+  blocks at ``max_pending`` (backpressure); with
+  :attr:`~repro.jobs.config.JobConfig.shed_above` set, overflow queries
+  are *shed* to an immediate UNKNOWN (:class:`ShedOutcome`) instead of
+  queued without bound;
+* **durability** — completed outcomes stream into the append-only
+  checkpoint journal (:mod:`repro.jobs.checkpoint`); after a crash,
+  :meth:`JobRunner.resume` restores every committed result and re-executes
+  only the pending queries, byte-identical to an uninterrupted run.
+
+SIGINT/SIGTERM trigger a graceful drain: no new queries start, in-flight
+queries finish and are checkpointed, and the :class:`JobResult` comes back
+``aborted`` with its pending set intact for a later ``resume``.
+``KeyboardInterrupt``/``SystemExit`` raised *inside* a worker are never
+converted into per-query errors — they abort the job and propagate.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+
+from repro.core.metrics import PipelineMetrics, merged
+from repro.core.pipeline import (
+    DEFAULT_BATCH_WORKERS,
+    ErrorOutcome,
+    PolicyModel,
+    PolicyPipeline,
+    QueryOutcome,
+)
+from repro.core.verify import Verdict
+from repro.errors import JobError
+from repro.jobs.checkpoint import (
+    KIND_ERROR,
+    KIND_OUTCOME,
+    KIND_SHED,
+    KIND_STALL,
+    CheckpointJournal,
+    CheckpointedOutcome,
+    JournalRecovery,
+    read_journal,
+    restore_outcome,
+)
+from repro.jobs.config import JobConfig
+from repro.jobs.watchdog import (
+    Clock,
+    MonotonicClock,
+    StallReport,
+    Watchdog,
+    WorkerHeartbeat,
+)
+from repro.store.atomic import StepHook
+
+
+@dataclass(slots=True)
+class StallOutcome:
+    """UNKNOWN verdict for a query whose worker the watchdog replaced.
+
+    Takes the hung query's slot so the batch completes with order
+    preserved; the attached :class:`StallReport` says which worker hung,
+    in which stage, and for how long.
+    """
+
+    question: str
+    stall: StallReport
+    metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
+
+    @property
+    def verdict(self) -> Verdict:
+        return Verdict.UNKNOWN
+
+    @property
+    def failed(self) -> bool:
+        return False
+
+    def summary(self) -> str:
+        return (
+            f"query: {self.question}\n"
+            f"verdict: UNKNOWN (stalled)\n"
+            f"{self.stall.summary()}"
+        )
+
+    def as_dict(self, *, include_metrics: bool = False) -> dict[str, object]:
+        trace: dict[str, object] = {
+            "question": self.question,
+            "stall": self.stall.as_dict(),
+        }
+        if include_metrics:
+            trace["metrics"] = self.metrics.as_dict()
+        return trace
+
+
+@dataclass(slots=True)
+class ShedOutcome:
+    """UNKNOWN verdict for a query refused by admission control.
+
+    Load shedding is an explicit, recorded answer — the caller learns the
+    system was saturated rather than waiting on an unbounded queue.
+    """
+
+    question: str
+    pending_at_admission: int
+    shed_above: int
+    metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
+
+    @property
+    def verdict(self) -> Verdict:
+        return Verdict.UNKNOWN
+
+    @property
+    def failed(self) -> bool:
+        return False
+
+    def summary(self) -> str:
+        return (
+            f"query: {self.question}\n"
+            f"verdict: UNKNOWN (shed: {self.pending_at_admission} queries "
+            f"pending >= shed threshold {self.shed_above})"
+        )
+
+    def as_dict(self, *, include_metrics: bool = False) -> dict[str, object]:
+        trace: dict[str, object] = {
+            "question": self.question,
+            "shed": {
+                "pending_at_admission": self.pending_at_admission,
+                "shed_above": self.shed_above,
+            },
+        }
+        if include_metrics:
+            trace["metrics"] = self.metrics.as_dict()
+        return trace
+
+
+#: Anything a job slot can hold once filled.
+JobOutcome = (
+    QueryOutcome | ErrorOutcome | StallOutcome | ShedOutcome | CheckpointedOutcome
+)
+
+
+class AdmissionQueue:
+    """Bounded work queue with backpressure and optional load shedding.
+
+    ``pending`` counts queries admitted but not yet *completed* (queued
+    plus in-flight), so the bound limits live memory, not just queue
+    length.  Blocking admits poll with a short timeout so the feeding
+    (main) thread stays responsive to drain requests and signals.
+    """
+
+    def __init__(self, max_pending: int, *, shed_above: int | None = None) -> None:
+        self.max_pending = max_pending
+        self.shed_above = shed_above
+        self._cv = threading.Condition()
+        self._items: deque = deque()
+        self._pending = 0
+        self._closed = False
+        self.high_water = 0
+
+    @property
+    def pending(self) -> int:
+        with self._cv:
+            return self._pending
+
+    def admit(self, item, *, should_stop=None, poll: float = 0.05) -> bool:
+        """Admit ``item``, or return False (shed / stopped).
+
+        With ``shed_above`` set, admission never blocks: a pending depth
+        at or above the threshold sheds the item.  Otherwise admission
+        blocks (backpressure) until depth drops below ``max_pending`` or
+        ``should_stop()`` turns true.
+        """
+        with self._cv:
+            while True:
+                if should_stop is not None and should_stop():
+                    return False
+                if self._closed:
+                    return False
+                if self.shed_above is not None and self._pending >= self.shed_above:
+                    return False
+                if self._pending < self.max_pending:
+                    self._items.append(item)
+                    self._pending += 1
+                    self.high_water = max(self.high_water, self._pending)
+                    self._cv.notify_all()
+                    return True
+                self._cv.wait(poll)
+
+    def get(self):
+        """Next item, or ``None`` once the queue is closed and empty."""
+        with self._cv:
+            while True:
+                if self._items:
+                    return self._items.popleft()
+                if self._closed:
+                    return None
+                self._cv.wait()
+
+    def task_done(self) -> None:
+        with self._cv:
+            self._pending = max(0, self._pending - 1)
+            self._cv.notify_all()
+
+    def drain(self) -> list:
+        """Remove (and return) every not-yet-started item."""
+        with self._cv:
+            dropped = list(self._items)
+            self._items.clear()
+            self._pending = max(0, self._pending - len(dropped))
+            self._cv.notify_all()
+            return dropped
+
+    def close(self) -> None:
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+
+
+@dataclass(slots=True)
+class JobResult:
+    """Everything one supervised job produced (or salvaged).
+
+    ``outcomes`` is index-aligned with ``questions``; a ``None`` slot is a
+    query that never ran (graceful drain) and remains pending in the
+    checkpoint — ``resume`` picks it up.
+    """
+
+    questions: list[str]
+    outcomes: list[JobOutcome | None]
+    metrics: PipelineMetrics
+    seconds: float
+    max_workers: int
+    aborted: bool = False
+    restored: int = 0
+    stalls: list[StallReport] = field(default_factory=list)
+    shed: int = 0
+    recovery: JournalRecovery | None = None
+    checkpoint_dir: str | None = None
+
+    def __len__(self) -> int:
+        return len(self.questions)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    @property
+    def completed(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes if o is not None]
+
+    @property
+    def pending(self) -> list[int]:
+        return [i for i, o in enumerate(self.outcomes) if o is None]
+
+    @property
+    def errors(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes if o is not None and o.failed]
+
+    @property
+    def verdicts(self) -> list[Verdict | None]:
+        return [None if o is None else o.verdict for o in self.outcomes]
+
+    def verdict_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            if outcome is None:
+                continue
+            name = outcome.verdict.value
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        counts = ", ".join(
+            f"{n} {v}" for v, n in sorted(self.verdict_counts().items())
+        )
+        line = (
+            f"{len(self.completed)}/{len(self.questions)} queries in "
+            f"{self.seconds:.2f}s ({self.max_workers} workers): "
+            f"{counts or 'no verdicts'}"
+        )
+        if self.restored:
+            line += f"; {self.restored} restored from checkpoint"
+        if self.stalls:
+            line += f"; {len(self.stalls)} stalled workers replaced"
+        if self.shed:
+            line += f"; {self.shed} queries shed"
+        if self.aborted:
+            line += f"; ABORTED with {len(self.pending)} queries pending"
+        return line
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "questions": len(self.questions),
+            "completed": len(self.completed),
+            "pending": self.pending,
+            "aborted": self.aborted,
+            "restored": self.restored,
+            "shed": self.shed,
+            "seconds": round(self.seconds, 6),
+            "max_workers": self.max_workers,
+            "verdicts": self.verdict_counts(),
+            "stalls": [s.as_dict() for s in self.stalls],
+            "metrics": self.metrics.as_dict(),
+            "outcomes": [
+                None if o is None else o.as_dict() for o in self.outcomes
+            ],
+        }
+
+
+class JobRunner:
+    """Run one question suite under supervision; resumable via checkpoint.
+
+    A runner is single-use per job run (``run``/``resume`` may be called
+    again, each call is a fresh execution over the same pipeline/model).
+    ``query_fn(index, question, certify, heartbeat)`` is the execution
+    seam: the default calls :meth:`PolicyPipeline.query` with the same
+    certification stride as ``query_batch``; tests substitute hanging or
+    counting functions.  ``journal_step`` is the crash-injection hook
+    threaded into every checkpoint append (see :mod:`repro.store.faults`).
+    """
+
+    def __init__(
+        self,
+        pipeline: PolicyPipeline,
+        model: PolicyModel,
+        config: JobConfig | None = None,
+        *,
+        clock: Clock | None = None,
+        query_fn=None,
+        journal_step: StepHook | None = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.model = model
+        if config is None:
+            config = getattr(pipeline.config, "jobs", None) or JobConfig()
+        self.config = config
+        self.clock: Clock = clock if clock is not None else MonotonicClock()
+        self._query_fn = query_fn if query_fn is not None else self._default_query
+        self._journal_step = journal_step
+        self.job_metrics = PipelineMetrics(queries=0)
+        # Per-run state (reset by _execute)
+        self._lock = threading.RLock()
+        self._heartbeats: list[WorkerHeartbeat] = []
+        self._queue: AdmissionQueue | None = None
+        self._journal: CheckpointJournal | None = None
+        self._watchdog: Watchdog | None = None
+        self._outcomes: list[JobOutcome | None] = []
+        self._stalls: list[StallReport] = []
+        self._remaining = 0
+        self._worker_seq = 0
+        self._done = threading.Event()
+        self._fatal: BaseException | None = None
+        self._drain_flag = False
+        self._drain_applied = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, questions) -> JobResult:
+        """Execute the suite from scratch (writing a fresh journal header)."""
+        questions = list(questions)
+        journal = self._open_journal()
+        if journal is not None:
+            journal.write_header(
+                questions, company=self.model.company, revision=self.model.revision
+            )
+        return self._execute(questions, {}, journal, recovery=None)
+
+    def resume(self, questions=None) -> JobResult:
+        """Restore committed results from the checkpoint; run only the rest.
+
+        ``questions`` is optional — the journal header is the source of
+        truth; when given, it must match the header exactly (resuming a
+        *different* suite against an old checkpoint would silently mix
+        verdicts across jobs).
+        """
+        if self.config.checkpoint_dir is None:
+            raise JobError("resume requires JobConfig.checkpoint_dir")
+        from pathlib import Path
+
+        from repro.jobs.checkpoint import JOURNAL_NAME
+
+        recovery = read_journal(Path(self.config.checkpoint_dir) / JOURNAL_NAME)
+        if recovery.header is None:
+            if questions is None:
+                raise JobError(
+                    "checkpoint has no (intact) header; pass the question "
+                    "suite to start the job from scratch"
+                )
+            return self.run(questions)
+        header_questions = [str(q) for q in recovery.header.get("questions", [])]
+        if questions is not None and list(questions) != header_questions:
+            raise JobError(
+                "question suite does not match the checkpoint header; "
+                "refusing to resume a different job"
+            )
+        completed = {
+            index: record
+            for index, record in recovery.completed.items()
+            if 0 <= index < len(header_questions)
+        }
+        journal = self._open_journal()
+        return self._execute(header_questions, completed, journal, recovery)
+
+    def request_drain(self) -> None:
+        """Ask the job to stop admitting work and finish in-flight queries.
+
+        Safe to call from any thread *and* from a signal handler: it only
+        flips a flag; the run loop applies the drain in normal context.
+        """
+        self._drain_flag = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _open_journal(self) -> CheckpointJournal | None:
+        if self.config.checkpoint_dir is None:
+            return None
+        return CheckpointJournal(
+            self.config.checkpoint_dir,
+            fsync=self.config.checkpoint_fsync,
+            step=self._journal_step,
+        )
+
+    def _execute(
+        self,
+        questions: list[str],
+        completed: dict[int, dict],
+        journal: CheckpointJournal | None,
+        recovery: JournalRecovery | None,
+    ) -> JobResult:
+        n = len(questions)
+        pending_indices = [i for i in range(n) if i not in completed]
+        max_workers = self.config.max_workers
+        if max_workers is None:
+            max_workers = min(DEFAULT_BATCH_WORKERS, max(1, len(pending_indices)))
+        if max_workers < 1:
+            raise JobError("max_workers must be >= 1")
+
+        with self._lock:
+            self._outcomes = [None] * n
+            for index, record in completed.items():
+                self._outcomes[index] = restore_outcome(record)
+            self._stalls = []
+            self._remaining = len(pending_indices)
+            self._journal = journal
+            self._queue = AdmissionQueue(
+                self.config.max_pending, shed_above=self.config.shed_above
+            )
+            self._heartbeats = []
+            self._worker_seq = 0
+            self._done = threading.Event()
+            self._fatal = None
+            self._drain_flag = False
+            self._drain_applied = False
+            # Per-run accounting: a runner reused for run() then resume()
+            # reports each execution's counters, not their sum.
+            self.job_metrics = PipelineMetrics(queries=0)
+            self.job_metrics.checkpoint_restored += len(completed)
+            if self._remaining == 0:
+                self._done.set()
+
+        self._watchdog = None
+        if self.config.stall_after is not None:
+            self._watchdog = Watchdog(
+                stall_after=self.config.stall_after,
+                clock=self.clock,
+                interval=self.config.watchdog_interval,
+            )
+
+        shed_count = 0
+        started = time.perf_counter()
+        old_handlers = self._install_signal_handlers()
+        try:
+            with self._lock:
+                for _ in range(min(max_workers, max(1, self._remaining))):
+                    self._spawn_worker()
+            if self._watchdog is not None and self.config.watchdog_thread:
+                self._watchdog.start(self.scan_stalls)
+
+            # Feed (main thread): backpressure-blocking, drain-aware.
+            for index in pending_indices:
+                if self._drain_flag or self._fatal is not None:
+                    break
+                admitted = self._queue.admit(
+                    (index, questions[index]),
+                    should_stop=lambda: self._drain_flag
+                    or self._fatal is not None,
+                )
+                if not admitted:
+                    if self._drain_flag or self._fatal is not None:
+                        break
+                    # Load shedding: answer immediately instead of queueing.
+                    outcome = ShedOutcome(
+                        question=questions[index],
+                        pending_at_admission=self._queue.pending,
+                        shed_above=self.config.shed_above,
+                    )
+                    shed_count += 1
+                    with self._lock:
+                        self.job_metrics.shed_queries += 1
+                        self._commit(index, questions[index], outcome, KIND_SHED)
+
+            # Wait for completion, drain, or a fatal worker exception.
+            while not self._done.is_set():
+                if self._fatal is not None:
+                    break
+                if self._drain_flag and not self._drain_applied:
+                    self._apply_drain()
+                if self._drain_applied:
+                    with self._lock:
+                        if not any(hb.busy for hb in self._heartbeats):
+                            break
+                self._done.wait(0.02)
+        finally:
+            self._restore_signal_handlers(old_handlers)
+            if self._watchdog is not None:
+                self._watchdog.stop()
+            # Registered workers exit promptly on the closed queue;
+            # abandoned (cancelled) workers are daemons already removed
+            # from the heartbeat table at replacement time.
+            self._queue.close()
+            if journal is not None:
+                journal.close()
+
+        with self._lock:
+            if self._fatal is not None:
+                raise self._fatal
+            self.job_metrics.queue_high_water = max(
+                self.job_metrics.queue_high_water, self._queue.high_water
+            )
+            outcomes = list(self._outcomes)
+            stalls = list(self._stalls)
+
+        metrics = merged(
+            [o.metrics for o in outcomes if o is not None]
+        )
+        metrics.merge(self.job_metrics)
+        return JobResult(
+            questions=questions,
+            outcomes=outcomes,
+            metrics=metrics,
+            seconds=time.perf_counter() - started,
+            max_workers=max_workers,
+            aborted=any(o is None for o in outcomes),
+            restored=len(completed),
+            stalls=stalls,
+            shed=shed_count,
+            recovery=recovery,
+            checkpoint_dir=(
+                None
+                if self.config.checkpoint_dir is None
+                else str(self.config.checkpoint_dir)
+            ),
+        )
+
+    def _default_query(self, index, question, certify, heartbeat):
+        budget = None
+        if self.config.query_timeout is not None:
+            base = self.pipeline.config.solver_budget
+            effective = (
+                self.config.query_timeout
+                if base.timeout_seconds is None
+                else min(base.timeout_seconds, self.config.query_timeout)
+            )
+            budget = replace(base, timeout_seconds=effective)
+        return self.pipeline.query(
+            self.model, question, budget=budget, certify=certify
+        )
+
+    def _spawn_worker(self) -> WorkerHeartbeat:
+        # Caller holds self._lock.
+        self._worker_seq += 1
+        hb = WorkerHeartbeat(self._worker_seq)
+        self._heartbeats.append(hb)
+        thread = threading.Thread(
+            target=self._worker,
+            args=(hb,),
+            name=f"job-worker-{self._worker_seq}",
+            daemon=True,
+        )
+        thread.start()
+        return hb
+
+    def _worker(self, hb: WorkerHeartbeat) -> None:
+        stride = max(1, self.pipeline.config.batch_certify_stride)
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            index, question = item
+            with self._lock:
+                hb.begin(index, question, self.clock.now())
+            try:
+                certify = (
+                    self.pipeline.config.certify and index % stride == 0
+                )
+                outcome = self._query_fn(index, question, certify, hb)
+                kind = KIND_OUTCOME
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                error_metrics = PipelineMetrics()
+                error_metrics.query_errors = 1
+                outcome = ErrorOutcome(
+                    question=question,
+                    stage=getattr(exc, "pipeline_stage", None) or "query",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    metrics=error_metrics,
+                )
+                kind = KIND_ERROR
+            except BaseException as exc:
+                # KeyboardInterrupt / SystemExit / simulated kills: never a
+                # per-query error — abort the job and let run() re-raise.
+                self._abort_with(exc, hb)
+                return
+            try:
+                with self._lock:
+                    if hb.cancelled.is_set():
+                        # Stalled and replaced while we were hung; the slot
+                        # already holds a StallOutcome.  Discard and retire.
+                        return
+                    self._commit(index, question, outcome, kind)
+                    hb.finish()
+            except BaseException as exc:  # noqa: BLE001 - journal failure is fatal
+                self._abort_with(exc, hb)
+                return
+            self._queue.task_done()
+
+    def _abort_with(self, exc: BaseException, hb: WorkerHeartbeat) -> None:
+        with self._lock:
+            if hb.cancelled.is_set() and self._fatal is None:
+                # A cancelled worker's demise is not the job's problem.
+                return
+            if self._fatal is None:
+                self._fatal = exc
+            hb.finish()
+        self._done.set()
+
+    def _commit(self, index, question, outcome, kind) -> None:
+        # Caller holds self._lock; commit and journal append are atomic
+        # with respect to stall replacement.
+        if self._outcomes[index] is not None:
+            return  # already answered (restored record raced a re-run)
+        self._outcomes[index] = outcome
+        self._remaining -= 1
+        if self._journal is not None:
+            self._journal.append_result(
+                index, question, kind, outcome.verdict, outcome.as_dict()
+            )
+            self.job_metrics.checkpoint_records += 1
+        if self._remaining <= 0:
+            self._done.set()
+
+    # ------------------------------------------------------------------
+    # Stall handling
+    # ------------------------------------------------------------------
+
+    def scan_stalls(self, *, now: float | None = None) -> list[StallReport]:
+        """One watchdog pass: convert stalled queries, replace workers.
+
+        Called by the watchdog thread in production; tests drive it
+        directly with a fake clock for deterministic detection.
+        """
+        if self._watchdog is None:
+            return []
+        reports: list[StallReport] = []
+        with self._lock:
+            scan_now = now if now is not None else self.clock.now()
+            for hb in self._watchdog.scan(self._heartbeats, now=scan_now):
+                index, question = hb.index, hb.question
+                report = StallReport(
+                    index=index,
+                    question=question,
+                    worker_id=hb.worker_id,
+                    stage=hb.stage,
+                    waited_seconds=scan_now - hb.last_beat,
+                    stall_after=self._watchdog.stall_after,
+                )
+                hb.cancelled.set()
+                self._heartbeats.remove(hb)
+                outcome = StallOutcome(question=question, stall=report)
+                self.job_metrics.stalled_queries += 1
+                self._commit(index, question, outcome, KIND_STALL)
+                self._stalls.append(report)
+                if not self._drain_applied and self._fatal is None:
+                    self._spawn_worker()
+                    self.job_metrics.workers_replaced += 1
+                reports.append(report)
+        for _ in reports:
+            self._queue.task_done()
+        return reports
+
+    # ------------------------------------------------------------------
+    # Drain + signals
+    # ------------------------------------------------------------------
+
+    def _apply_drain(self) -> None:
+        with self._lock:
+            if self._drain_applied:
+                return
+            self._drain_applied = True
+            self.job_metrics.jobs_aborted += 1
+        dropped = self._queue.drain()
+        self._queue.close()
+        with self._lock:
+            if not any(hb.busy for hb in self._heartbeats):
+                self._done.set()
+        del dropped  # their slots stay None → pending in the checkpoint
+
+    def _install_signal_handlers(self):
+        if not self.config.handle_signals:
+            return None
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        handlers = {}
+
+        def on_signal(signum, frame):  # noqa: ARG001 - signal API
+            self.request_drain()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                handlers[signum] = signal.signal(signum, on_signal)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                pass
+        return handlers
+
+    def _restore_signal_handlers(self, handlers) -> None:
+        if not handlers:
+            return
+        for signum, handler in handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass

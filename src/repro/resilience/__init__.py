@@ -20,6 +20,16 @@ through its layers:
   :class:`~repro.core.pipeline.ErrorOutcome` records instead of aborting
   the executor.
 
+Everything here contains failures *inside* one process run; the layer
+above it — :mod:`repro.jobs` — supervises the run itself (hung-worker
+watchdog, admission control, crash-resumable checkpoints).  The division
+of labour: an exception is this package's problem, a hang or a kill is a
+job-supervision problem.  Note the isolation contract both layers share:
+only :class:`Exception` is ever converted to an
+:class:`~repro.core.pipeline.ErrorOutcome`; ``BaseException``
+(``KeyboardInterrupt``, ``SystemExit``) always propagates as job
+cancellation.
+
 Deterministic fault injectors for chaos testing live in
 :mod:`repro.resilience.faults` (imported explicitly, not re-exported here —
 they are test infrastructure).

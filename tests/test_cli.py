@@ -174,3 +174,200 @@ class TestSnapshot:
         out = capsys.readouterr().out
         assert "exit codes:" in out
         assert "4  snapshot corruption" in out
+        assert "6  job aborted" in out
+
+
+@pytest.fixture()
+def queries_file(tmp_path):
+    path = tmp_path / "queries.txt"
+    path.write_text(
+        "# audit suite\n"
+        "Acme collects the email address.\n"
+        "\n"
+        "Acme shares the usage information with analytics providers.\n"
+        "Acme sells the contact information.\n"
+        "Does Acme collect my name?\n",
+        "utf-8",
+    )
+    return str(path)
+
+
+class TestBatch:
+    def test_run_answers_every_question(
+        self, policy_file, queries_file, tmp_path, capsys
+    ):
+        ckpt = str(tmp_path / "ckpt")
+        code = main(
+            ["batch", "run", policy_file, queries_file, "--checkpoint", ckpt]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[0] VALID" in out
+        assert "4/4 queries" in out
+        assert (tmp_path / "ckpt" / "journal.jsonl").exists()
+
+    def test_resume_restores_committed_results(
+        self, policy_file, queries_file, tmp_path, capsys
+    ):
+        ckpt = str(tmp_path / "ckpt")
+        main(["batch", "run", policy_file, queries_file, "--checkpoint", ckpt])
+        capsys.readouterr()
+        code = main(["batch", "resume", policy_file, "--checkpoint", ckpt])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("(restored)") == 4
+        assert "4 restored from checkpoint" in out
+
+    def test_json_report_written(
+        self, policy_file, queries_file, tmp_path, capsys
+    ):
+        report = tmp_path / "result.json"
+        code = main(
+            [
+                "batch",
+                "run",
+                policy_file,
+                queries_file,
+                "--checkpoint",
+                str(tmp_path / "ckpt"),
+                "--stats",
+                "--json",
+                str(report),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "checkpoint: 4 written" in out  # --stats metrics block
+        data = json.loads(report.read_text("utf-8"))
+        assert data["completed"] == 4
+        assert data["aborted"] is False
+
+    def test_aborted_run_exit_six_then_resume(
+        self, policy_file, queries_file, tmp_path, monkeypatch, capsys
+    ):
+        import time
+
+        import repro.jobs as jobs
+
+        real_runner = jobs.JobRunner
+
+        class DrainingRunner(real_runner):
+            """Drains after the first answer — a scripted Ctrl-C."""
+
+            def run(self, questions):
+                def query_fn(index, question, certify, heartbeat):
+                    if index == 0:
+                        self.request_drain()
+                    else:
+                        deadline = time.monotonic() + 10.0
+                        while (
+                            not self._drain_applied
+                            and time.monotonic() < deadline
+                        ):
+                            time.sleep(0.002)
+                    return self.pipeline.query(
+                        self.model, question, certify=certify
+                    )
+
+                self._query_fn = query_fn
+                return super().run(questions)
+
+        monkeypatch.setattr(jobs, "JobRunner", DrainingRunner)
+        ckpt = str(tmp_path / "ckpt")
+        code = main(
+            [
+                "batch",
+                "run",
+                policy_file,
+                queries_file,
+                "--checkpoint",
+                ckpt,
+                "--workers",
+                "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 6
+        assert "PENDING" in captured.out
+        assert "ABORTED" in captured.out
+        assert "batch resume --checkpoint" in captured.err
+
+        monkeypatch.setattr(jobs, "JobRunner", real_runner)
+        code = main(["batch", "resume", policy_file, "--checkpoint", ckpt])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "restored from checkpoint" in out
+        assert "PENDING" not in out
+
+    def test_resume_requires_checkpoint_flag(self, policy_file):
+        with pytest.raises(SystemExit):
+            main(["batch", "resume", policy_file])
+
+    def test_resume_without_journal_exit_three(
+        self, policy_file, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "batch",
+                "resume",
+                policy_file,
+                "--checkpoint",
+                str(tmp_path / "empty"),
+            ]
+        )
+        assert code == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_queries_file_rejected(self, policy_file, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("# only comments\n\n", "utf-8")
+        code = main(
+            [
+                "batch",
+                "run",
+                policy_file,
+                str(queries),
+                "--checkpoint",
+                str(tmp_path / "ckpt"),
+            ]
+        )
+        assert code == 3
+        assert "no questions" in capsys.readouterr().err
+
+    def test_stall_options_accepted(
+        self, policy_file, queries_file, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "batch",
+                "run",
+                policy_file,
+                queries_file,
+                "--checkpoint",
+                str(tmp_path / "ckpt"),
+                "--stall-after",
+                "30",
+                "--max-pending",
+                "8",
+                "--timeout",
+                "5.0",
+            ]
+        )
+        assert code == 0
+        assert "4/4 queries" in capsys.readouterr().out
+
+
+class TestQueryTimeout:
+    def test_timeout_accepted(self, policy_file, capsys):
+        code = main(
+            ["query", policy_file, "Acme collects the name.", "--timeout", "5"]
+        )
+        assert code == 0
+        assert "verdict: VALID" in capsys.readouterr().out
+
+    def test_nonpositive_timeout_rejected(self, policy_file, capsys):
+        code = main(
+            ["query", policy_file, "Acme collects the name.", "--timeout", "0"]
+        )
+        assert code == 3
+        assert "timeout" in capsys.readouterr().err
