@@ -290,14 +290,17 @@ def _read_questions(path: str) -> list[str]:
 def _job_config(args: argparse.Namespace):
     from repro.jobs import JobConfig
 
-    return JobConfig(
-        max_workers=args.workers,
-        max_pending=args.max_pending,
-        shed_above=args.shed_above,
-        stall_after=args.stall_after,
-        checkpoint_dir=args.checkpoint,
-        query_timeout=args.timeout,
-    )
+    try:
+        return JobConfig(
+            max_workers=args.workers,
+            max_pending=args.max_pending,
+            shed_above=args.shed_above,
+            stall_after=args.stall_after,
+            checkpoint_dir=args.checkpoint,
+            query_timeout=args.timeout,
+        )
+    except ValueError as exc:
+        raise ReproError(f"invalid batch options: {exc}") from None
 
 
 def _render_job_result(result, args: argparse.Namespace) -> None:
@@ -550,7 +553,8 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             metavar="N",
             help="load-shed instead of queueing once N queries are pending "
-            "(each shed query answers UNKNOWN immediately; default: off)",
+            "(each shed query answers UNKNOWN immediately; must be <= "
+            "--max-pending; default: off, pure backpressure)",
         )
         sp.add_argument(
             "--stall-after",

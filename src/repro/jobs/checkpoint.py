@@ -13,7 +13,11 @@ append-only log can suffer:
 
 * a **torn tail** — the final line was cut mid-write by a crash; it fails
   to parse (or fails its checksum) and the journal recovers to the last
-  complete prefix;
+  complete prefix.  :class:`CheckpointJournal` also *repairs* the tear on
+  reopen (truncating back to the last newline) — otherwise the resumed
+  run's first append would coalesce onto the torn fragment and every
+  record committed after the crash would fall outside the trusted prefix
+  of the *next* recovery;
 * a **duplicated record** — an append replayed after an ill-timed crash;
   the first occurrence of an index wins and the duplicate is counted, not
   trusted.
@@ -54,6 +58,47 @@ KIND_SHED = "shed"  # ShedOutcome trace (refused by admission control)
 
 def _canonical(record: dict) -> str:
     return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def questions_digest(questions: list[str]) -> str:
+    """The digest binding a journal header to its question suite."""
+    return hashlib.sha256("\n".join(questions).encode("utf-8")).hexdigest()
+
+
+def _truncate_torn_tail(path: Path) -> bool:
+    """Truncate a torn (newline-less) final line left by a crash.
+
+    Reopening in append mode without this would coalesce the next record
+    onto the torn fragment, making that line unreadable — and, since
+    recovery is prefix-based, silently untrusting every record appended
+    after the reopen.  Returns True when a tear was repaired.
+    """
+    with open(path, "rb+") as handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        if size == 0:
+            return False
+        handle.seek(size - 1)
+        if handle.read(1) == b"\n":
+            return False
+        # Scan backwards for the last newline; everything after it is the
+        # torn fragment a kill left mid-append.
+        keep = 0
+        pos = size
+        chunk = 4096
+        while pos > 0:
+            start = max(0, pos - chunk)
+            handle.seek(start)
+            data = handle.read(pos - start)
+            cut = data.rfind(b"\n")
+            if cut != -1:
+                keep = start + cut + 1
+                break
+            pos = start
+        handle.truncate(keep)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return True
 
 
 def journal_line(record: dict) -> str:
@@ -182,7 +227,9 @@ class CheckpointedOutcome:
 class CheckpointJournal:
     """Writer half of the journal: fsync'd appends, one open handle.
 
-    Not thread-safe by itself — the :class:`~repro.jobs.runner.JobRunner`
+    Opening an existing journal repairs a torn tail first (see
+    :func:`_truncate_torn_tail`); :attr:`repaired_tail` records whether a
+    tear was found.  Not thread-safe by itself — the :class:`~repro.jobs.runner.JobRunner`
     serializes appends under its commit lock, which also pins the record
     order for a single-worker run.
     """
@@ -201,6 +248,7 @@ class CheckpointJournal:
         self.records_written = 0
         self.directory.mkdir(parents=True, exist_ok=True)
         existed = self.path.exists()
+        self.repaired_tail = existed and _truncate_torn_tail(self.path)
         self._handle: IO[str] = open(self.path, "a", encoding="utf-8")
         if not existed:
             # Make the (empty) journal itself durable before any record,
@@ -215,9 +263,7 @@ class CheckpointJournal:
         company: str,
         revision: int,
     ) -> None:
-        digest = hashlib.sha256(
-            "\n".join(questions).encode("utf-8")
-        ).hexdigest()
+        digest = questions_digest(list(questions))
         self._append(
             {
                 "kind": KIND_HEADER,

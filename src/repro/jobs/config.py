@@ -25,10 +25,14 @@ class JobConfig:
     max_workers: int | None = None  # None: min(DEFAULT_BATCH_WORKERS, n)
     # Admission queue bound: at most this many queries admitted-but-not-
     # completed at once.  Batch feeding blocks (backpressure) at the
-    # bound; the streaming submit() path sheds instead (see shed_above).
+    # bound, unless shed_above converts the overflow to an answer first.
     max_pending: int = 64
-    # Streaming-mode load shedding: submit() refuses new queries once the
-    # pending depth reaches this.  None means "shed at max_pending".
+    # Load shedding: once the pending depth reaches this, further queries
+    # are refused and recorded as ShedOutcome UNKNOWNs instead of
+    # blocking.  Must be <= max_pending (validated below), so a set
+    # threshold always fires before the blocking bound — admission then
+    # never blocks.  None disables shedding entirely: admission only
+    # ever blocks (pure backpressure), nothing is shed.
     shed_above: int | None = None
     # Seconds an in-flight query may go without a heartbeat before the
     # watchdog declares it stalled, cancels it cooperatively, replaces
@@ -62,6 +66,12 @@ class JobConfig:
             raise ValueError("watchdog_interval must be > 0")
         if self.shed_above is not None and self.shed_above < 1:
             raise ValueError("shed_above must be >= 1")
+        if self.shed_above is not None and self.shed_above > self.max_pending:
+            raise ValueError(
+                "shed_above must be <= max_pending (the shed threshold "
+                "must fire before the blocking bound, or a pending depth "
+                "between the two would block instead of shedding)"
+            )
         if self.stall_after is not None and self.stall_after <= 0:
             raise ValueError("stall_after must be > 0")
         if self.query_timeout is not None and self.query_timeout <= 0:

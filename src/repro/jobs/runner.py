@@ -35,6 +35,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from repro.core.metrics import PipelineMetrics, merged
 from repro.core.pipeline import (
@@ -47,6 +48,7 @@ from repro.core.pipeline import (
 from repro.core.verify import Verdict
 from repro.errors import JobError
 from repro.jobs.checkpoint import (
+    JOURNAL_NAME,
     KIND_ERROR,
     KIND_OUTCOME,
     KIND_SHED,
@@ -54,6 +56,7 @@ from repro.jobs.checkpoint import (
     CheckpointJournal,
     CheckpointedOutcome,
     JournalRecovery,
+    questions_digest,
     read_journal,
     restore_outcome,
 )
@@ -163,6 +166,11 @@ class AdmissionQueue:
     """
 
     def __init__(self, max_pending: int, *, shed_above: int | None = None) -> None:
+        if shed_above is not None and not (1 <= shed_above <= max_pending):
+            raise ValueError(
+                "shed_above must be in [1, max_pending]: the shed "
+                "threshold has to fire before the blocking bound"
+            )
         self.max_pending = max_pending
         self.shed_above = shed_above
         self._cv = threading.Condition()
@@ -177,12 +185,14 @@ class AdmissionQueue:
             return self._pending
 
     def admit(self, item, *, should_stop=None, poll: float = 0.05) -> bool:
-        """Admit ``item``, or return False (shed / stopped).
+        """Admit ``item``, or return False (shed / stopped / closed).
 
-        With ``shed_above`` set, admission never blocks: a pending depth
-        at or above the threshold sheds the item.  Otherwise admission
-        blocks (backpressure) until depth drops below ``max_pending`` or
-        ``should_stop()`` turns true.
+        With ``shed_above`` set (constructor-validated to be at most
+        ``max_pending``), admission never blocks: a pending depth at or
+        above the threshold sheds the item immediately.  With it unset,
+        admission only ever blocks (backpressure) — until depth drops
+        below ``max_pending`` or ``should_stop()`` turns true — and
+        never sheds.
         """
         with self._cv:
             while True:
@@ -371,8 +381,30 @@ class JobRunner:
     # ------------------------------------------------------------------
 
     def run(self, questions) -> JobResult:
-        """Execute the suite from scratch (writing a fresh journal header)."""
+        """Execute the suite from scratch (writing a fresh journal header).
+
+        Refuses a checkpoint directory whose journal already holds an
+        intact header: recovery keeps the *first* header and the first
+        occurrence of each index, so appending a second job's header and
+        records would make a later ``resume`` silently restore the first
+        job's verdicts.  Resume the existing job or pick a fresh
+        directory instead.
+        """
         questions = list(questions)
+        if self.config.checkpoint_dir is not None:
+            existing = read_journal(
+                Path(self.config.checkpoint_dir) / JOURNAL_NAME
+            )
+            if existing.header is not None:
+                raise JobError(
+                    f"checkpoint directory {self.config.checkpoint_dir} "
+                    "already holds a journal for "
+                    f"{existing.header.get('company')!r} revision "
+                    f"{existing.header.get('revision')} "
+                    f"({len(existing.completed)} committed records); "
+                    "resume it (`batch resume --checkpoint DIR`) or start "
+                    "the new job in a fresh directory"
+                )
         journal = self._open_journal()
         if journal is not None:
             journal.write_header(
@@ -386,14 +418,14 @@ class JobRunner:
         ``questions`` is optional — the journal header is the source of
         truth; when given, it must match the header exactly (resuming a
         *different* suite against an old checkpoint would silently mix
-        verdicts across jobs).
+        verdicts across jobs).  The header's model identity and question
+        digest must likewise match this runner — restored verdicts were
+        produced by the model the header names, and mixing them with
+        fresh executions against a different model would corrupt the
+        result the same way a mismatched suite would.
         """
         if self.config.checkpoint_dir is None:
             raise JobError("resume requires JobConfig.checkpoint_dir")
-        from pathlib import Path
-
-        from repro.jobs.checkpoint import JOURNAL_NAME
-
         recovery = read_journal(Path(self.config.checkpoint_dir) / JOURNAL_NAME)
         if recovery.header is None:
             if questions is None:
@@ -402,7 +434,22 @@ class JobRunner:
                     "suite to start the job from scratch"
                 )
             return self.run(questions)
-        header_questions = [str(q) for q in recovery.header.get("questions", [])]
+        header = recovery.header
+        header_questions = [str(q) for q in header.get("questions", [])]
+        if header.get("questions_sha256") != questions_digest(header_questions):
+            raise JobError(
+                "checkpoint header fails its question digest; refusing to "
+                "resume from a tampered journal"
+            )
+        company = header.get("company")
+        revision = header.get("revision")
+        if company != self.model.company or revision != self.model.revision:
+            raise JobError(
+                f"checkpoint belongs to model {company!r} revision "
+                f"{revision}, but this runner's model is "
+                f"{self.model.company!r} revision {self.model.revision}; "
+                "refusing to mix restored verdicts across models"
+            )
         if questions is not None and list(questions) != header_questions:
             raise JobError(
                 "question suite does not match the checkpoint header; "

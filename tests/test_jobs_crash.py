@@ -189,6 +189,43 @@ class TestKillMatrix:
         assert result.restored == 2
         assert [_trace(o) for o in result.outcomes] == baseline
 
+    def test_records_committed_after_torn_tail_resume_stay_durable(
+        self, pipeline, small_model, tmp_path, baseline
+    ):
+        # Crash-tear-resume-crash-resume: reopening a torn journal must
+        # repair the tear first, or the resumed run's appends coalesce
+        # onto the fragment and every record it fsync'd falls outside the
+        # trusted prefix of the *next* recovery — silently re-losing work
+        # the journal claimed was durable.
+        config = _config(tmp_path)
+        with pytest.raises(SimulatedCrash):
+            JobRunner(
+                pipeline,
+                small_model,
+                config,
+                journal_step=CrashInjector(crash_at="append:record:1"),
+            ).run(QUESTIONS)
+        path = tmp_path / "ckpt" / JOURNAL_NAME
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 25])  # the kill tears record 1
+
+        resumed = JobRunner(pipeline, small_model, config).resume()
+        assert resumed.restored == 1  # only record 0 survived the tear
+        assert [_trace(o) for o in resumed.outcomes] == baseline
+
+        # Everything the resumed run committed must be readable by the
+        # next recovery: re-read the journal and resume once more.
+        recovery = read_journal(path)
+        assert not recovery.torn_tail
+        assert sorted(recovery.completed) == list(range(len(QUESTIONS)))
+        counting = CountingQueryFn(pipeline, small_model)
+        final = JobRunner(
+            pipeline, small_model, config, query_fn=counting
+        ).resume()
+        assert counting.by_index == {}  # nothing re-executed
+        assert final.restored == len(QUESTIONS)
+        assert [_trace(o) for o in final.outcomes] == baseline
+
     def test_torn_tail_after_kill_is_recovered(
         self, pipeline, small_model, tmp_path, baseline
     ):

@@ -104,6 +104,13 @@ class TestAdmissionQueue:
         thread.join(timeout=5.0)
         assert results == [False]
 
+    def test_shed_above_must_not_exceed_max_pending(self):
+        # A threshold past the blocking bound would create a depth band
+        # [max_pending, shed_above) that blocks instead of shedding,
+        # contradicting admit()'s never-blocks contract.
+        with pytest.raises(ValueError, match="shed_above"):
+            AdmissionQueue(max_pending=1, shed_above=2)
+
     def test_shed_above_never_blocks(self):
         q = AdmissionQueue(max_pending=10, shed_above=1)
         assert q.admit("a")
@@ -222,6 +229,44 @@ class TestJournalRecovery:
         assert sorted(recovery.completed) == [0]
 
 
+class TestJournalTailRepair:
+    """Reopening a torn journal must repair the tear before appending.
+
+    Without the repair, the first post-crash append coalesces onto the
+    torn fragment: that line fails its checksum, and prefix recovery then
+    silently distrusts every record the resumed run commits — the exact
+    crash-resume-crash data loss the journal exists to prevent.
+    """
+
+    def test_reopen_truncates_torn_tail_before_appending(self, tmp_path):
+        path = _write_journal(tmp_path, [(0, QUESTIONS[0])])
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-20])  # kill tears record 0 mid-line
+        with CheckpointJournal(tmp_path / "ckpt") as journal:
+            assert journal.repaired_tail
+            for index in (1, 2):
+                journal.append_result(
+                    index,
+                    QUESTIONS[index],
+                    KIND_OUTCOME,
+                    Verdict.VALID,
+                    {"question": QUESTIONS[index]},
+                )
+        recovery = read_journal(path)
+        assert not recovery.torn_tail
+        assert recovery.header is not None
+        # The torn record is gone (pending again); the post-reopen
+        # appends are fully trusted rather than lost past the tear.
+        assert sorted(recovery.completed) == [1, 2]
+
+    def test_reopen_of_intact_journal_repairs_nothing(self, tmp_path):
+        path = _write_journal(tmp_path, [(0, QUESTIONS[0])])
+        before = path.read_bytes()
+        with CheckpointJournal(tmp_path / "ckpt") as journal:
+            assert not journal.repaired_tail
+        assert path.read_bytes() == before
+
+
 # ---------------------------------------------------------------------------
 # Runner end-to-end
 # ---------------------------------------------------------------------------
@@ -287,6 +332,46 @@ class TestJobRunner:
         JobRunner(pipeline, small_model, config).run(QUESTIONS)
         with pytest.raises(JobError, match="does not match"):
             JobRunner(pipeline, small_model, config).resume(QUESTIONS[:2])
+
+    def test_run_refuses_initialized_checkpoint_dir(
+        self, pipeline, small_model, tmp_path
+    ):
+        # Recovery keeps the first header and first-occurrence records,
+        # so running job B into job A's directory would make a later
+        # resume restore A's verdicts under B's name.
+        config = JobConfig(max_workers=1, checkpoint_dir=str(tmp_path / "ckpt"))
+        JobRunner(pipeline, small_model, config).run(QUESTIONS)
+        with pytest.raises(JobError, match="resume"):
+            JobRunner(pipeline, small_model, config).run(QUESTIONS[:2])
+
+    def test_resume_rejects_model_mismatch(
+        self, pipeline, small_model, small_policy_text, tmp_path
+    ):
+        config = JobConfig(max_workers=1, checkpoint_dir=str(tmp_path / "ckpt"))
+        JobRunner(pipeline, small_model, config).run(QUESTIONS)
+
+        other_company = pipeline.process(small_policy_text, company="OtherCorp")
+        with pytest.raises(JobError, match="refusing to mix"):
+            JobRunner(pipeline, other_company, config).resume()
+
+        other_revision = pipeline.process(small_policy_text)
+        other_revision.revision = small_model.revision + 1
+        with pytest.raises(JobError, match="refusing to mix"):
+            JobRunner(pipeline, other_revision, config).resume()
+
+    def test_resume_rejects_header_digest_mismatch(
+        self, pipeline, small_model, tmp_path
+    ):
+        config = JobConfig(max_workers=1, checkpoint_dir=str(tmp_path / "ckpt"))
+        JobRunner(pipeline, small_model, config).run(QUESTIONS)
+        path = tmp_path / "ckpt" / JOURNAL_NAME
+        lines = path.read_text("utf-8").splitlines()
+        header = json.loads(lines[0])["record"]
+        header["questions"] = list(QUESTIONS[:2])  # suite swapped, digest stale
+        lines[0] = journal_line(header)
+        path.write_text("\n".join(lines) + "\n", "utf-8")
+        with pytest.raises(JobError, match="digest"):
+            JobRunner(pipeline, small_model, config).resume()
 
     def test_resume_without_checkpoint_dir_rejected(self, pipeline, small_model):
         with pytest.raises(JobError, match="checkpoint_dir"):
@@ -533,6 +618,8 @@ class TestJobConfigValidation:
             JobConfig(max_pending=0)
         with pytest.raises(ValueError):
             JobConfig(shed_above=0)
+        with pytest.raises(ValueError, match="shed_above"):
+            JobConfig(max_pending=4, shed_above=5)
         with pytest.raises(ValueError):
             JobConfig(stall_after=0.0)
         with pytest.raises(ValueError):
