@@ -34,8 +34,9 @@ from repro.core.pipeline import (
     UpdateStats,
 )
 from repro.core.verify import Verdict, VerificationResult
-from repro.errors import JobError, ReproError, SnapshotError
+from repro.errors import JobError, RegistryError, ReproError, SnapshotError
 from repro.jobs import JobConfig, JobResult, JobRunner
+from repro.registry import FleetReport, MintSpec, PolicyRegistry
 from repro.resilience import BudgetLadder, DegradationReport
 from repro.solver.interface import SolverBudget
 from repro.store import AuditReport, SnapshotStore
@@ -60,6 +61,10 @@ __all__ = [
     "JobError",
     "JobResult",
     "JobRunner",
+    "PolicyRegistry",
+    "MintSpec",
+    "FleetReport",
+    "RegistryError",
     "SnapshotStore",
     "AuditReport",
     "ReproError",

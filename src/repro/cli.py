@@ -14,6 +14,10 @@ Usage (also available as ``python -m repro``)::
     repro-policy batch run POLICY.txt QUERIES.txt --checkpoint DIR \\
         [--max-pending N] [--stall-after S] [--timeout S]
     repro-policy batch resume POLICY.txt --checkpoint DIR
+    repro-policy registry mint --root DIR --count 100 [--seed S]
+    repro-policy registry list --root DIR
+    repro-policy registry query --root DIR "QUESTION" [--companies A,B] \\
+        [--checkpoint DIR] [--resume]
 
 Every command runs fully offline on the bundled substrates.
 """
@@ -287,6 +291,65 @@ def _read_questions(path: str) -> list[str]:
     return questions
 
 
+def _add_batch_options(sp, *, checkpoint_required: bool = False) -> None:
+    """Job-supervision flags shared by `batch run/resume` and
+    `registry query` — one JobRunner stands behind all three."""
+    sp.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        required=checkpoint_required,
+        help="checkpoint journal directory (append-only, fsync'd); "
+        "enables crash/Ctrl-C resume",
+    )
+    sp.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="worker threads (default: min(8, pending queries))",
+    )
+    sp.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission-queue bound: at most N queries in flight or "
+        "queued; feeding blocks above it (default: 64)",
+    )
+    sp.add_argument(
+        "--shed-above",
+        type=int,
+        metavar="N",
+        help="load-shed instead of queueing once N queries are pending "
+        "(each shed query answers UNKNOWN immediately; must be <= "
+        "--max-pending; default: off, pure backpressure)",
+    )
+    sp.add_argument(
+        "--stall-after",
+        type=float,
+        metavar="S",
+        help="watchdog threshold: a query running S seconds without a "
+        "heartbeat is cancelled, its worker replaced, and its slot "
+        "answered UNKNOWN with a stall report (default: off)",
+    )
+    sp.add_argument(
+        "--timeout",
+        type=float,
+        metavar="S",
+        help="per-query wall-clock ceiling composed onto the solver "
+        "deadline as min(configured, S); default unchanged",
+    )
+    sp.add_argument(
+        "--stats",
+        action="store_true",
+        help="print merged pipeline metrics for the job",
+    )
+    sp.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the full structured result to FILE",
+    )
+
+
 def _job_config(args: argparse.Namespace):
     from repro.jobs import JobConfig
 
@@ -341,6 +404,101 @@ def _job_exit_code(result) -> int:
     if result.errors:
         return 3
     return 0
+
+
+def _cmd_registry_mint(args: argparse.Namespace) -> int:
+    from repro.registry import MintSpec, PolicyRegistry
+
+    spec_kwargs: dict = {"count": args.count, "seed": args.seed}
+    if args.sectors:
+        spec_kwargs["sectors"] = tuple(
+            s.strip() for s in args.sectors.split(",") if s.strip()
+        )
+    if args.words:
+        try:
+            spec_kwargs["target_words"] = tuple(
+                int(w) for w in args.words.split(",") if w.strip()
+            )
+        except ValueError:
+            raise ReproError(f"invalid --words value: {args.words!r}") from None
+    if args.exception_pairs is not None:
+        spec_kwargs["exception_pairs"] = args.exception_pairs
+    if args.incoherent_fraction is not None:
+        spec_kwargs["incoherent_exception_fraction"] = args.incoherent_fraction
+    registry = PolicyRegistry(args.root)
+    report = registry.mint(MintSpec(**spec_kwargs))
+    print(report.summary())
+    print(f"registry: {len(registry)} companies at {args.root}")
+    return 0
+
+
+def _cmd_registry_list(args: argparse.Namespace) -> int:
+    from repro.registry import PolicyRegistry
+
+    registry = PolicyRegistry(args.root)
+    for company in registry.companies():
+        entry = registry.entry(company)
+        print(
+            f"{company:24s} shard {entry.shard}  revision {entry.revision}"
+            + (f"  sector {entry.sector}" if entry.sector else "")
+            + (f"  ~{entry.target_words}w" if entry.target_words else "")
+        )
+    print(f"{len(registry)} companies in {registry.num_shards} shards")
+    return 0
+
+
+def _cmd_registry_query(args: argparse.Namespace) -> int:
+    from repro.registry import PolicyRegistry
+
+    pipeline = PolicyPipeline()
+    _apply_query_timeout(pipeline, args.timeout)
+    if args.resume and not args.checkpoint:
+        raise ReproError("--resume requires --checkpoint DIR")
+    registry = PolicyRegistry(
+        args.root, pipeline=pipeline, max_warm=args.max_warm
+    )
+    companies = None
+    if args.companies:
+        companies = [c.strip() for c in args.companies.split(",") if c.strip()]
+    config = _job_config(args)
+    if args.resume:
+        report = registry.resume_fleet(args.question, companies, config=config)
+    else:
+        report = registry.query_fleet(args.question, companies, config=config)
+    from repro.jobs import CheckpointedOutcome
+
+    for company, outcome in report.per_company():
+        if outcome is None:
+            print(f"{company:24s} PENDING")
+            continue
+        marker = (
+            " (restored)" if isinstance(outcome, CheckpointedOutcome) else ""
+        )
+        print(f"{company:24s} {outcome.verdict.value}{marker}")
+    print(report.summary())
+    if report.aborted and config.checkpoint_dir:
+        print(
+            f"fleet aborted; resume with: registry query --root {args.root} "
+            f"--resume --checkpoint {config.checkpoint_dir} "
+            f"{args.question!r}",
+            file=sys.stderr,
+        )
+    if args.stats:
+        from repro import PipelineMetrics
+
+        # Job counters plus the pipeline-lifetime registry/store counters
+        # (hits, shard loads, evictions) — disjoint by construction.
+        stats = PipelineMetrics(queries=0)
+        stats.merge(report.job.metrics)
+        stats.merge(pipeline.metrics)
+        print("\n--- pipeline metrics ---")
+        print(stats.render())
+    if args.json:
+        from repro.store.atomic import atomic_write_json
+
+        atomic_write_json(args.json, report.as_dict())
+        print(f"wrote JSON results to {args.json}")
+    return _job_exit_code(report.job)
 
 
 def _cmd_batch_run(args: argparse.Namespace) -> int:
@@ -519,68 +677,95 @@ def build_parser() -> argparse.ArgumentParser:
     s.set_defaults(func=_cmd_snapshot_audit)
 
     p = sub.add_parser(
+        "registry",
+        help="sharded multi-policy registry (mint / list / query a fleet)",
+        epilog=EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    reg = p.add_subparsers(dest="registry_command", required=True)
+
+    s = reg.add_parser(
+        "mint",
+        help="deterministically generate, process, and register a fleet "
+        "of synthetic policies",
+    )
+    s.add_argument("--root", required=True, help="registry directory")
+    s.add_argument(
+        "--count", type=int, required=True, metavar="N", help="companies to mint"
+    )
+    s.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default: 0)"
+    )
+    s.add_argument(
+        "--sectors",
+        metavar="A,B,...",
+        help="comma-separated sector rotation (default: all sectors)",
+    )
+    s.add_argument(
+        "--words",
+        metavar="N,N,...",
+        help="comma-separated target word counts, rotated per company "
+        "(default: 340,420,520)",
+    )
+    s.add_argument(
+        "--exception-pairs",
+        type=int,
+        metavar="N",
+        help="injected general-rule/exception pairs per policy (default: 3)",
+    )
+    s.add_argument(
+        "--incoherent-fraction",
+        type=float,
+        metavar="F",
+        help="fraction of exception pairs that genuinely contradict "
+        "(default: 0.34)",
+    )
+    s.set_defaults(func=_cmd_registry_mint)
+
+    s = reg.add_parser("list", help="list registered companies and shards")
+    s.add_argument("--root", required=True, help="registry directory")
+    s.set_defaults(func=_cmd_registry_list)
+
+    s = reg.add_parser(
+        "query",
+        help="fan one question across the fleet under job supervision",
+        epilog=EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    s.add_argument("--root", required=True, help="registry directory")
+    s.add_argument(
+        "question",
+        help='declarative query, e.g. "The company shares the email '
+        'address with advertisers."',
+    )
+    s.add_argument(
+        "--companies",
+        metavar="A,B,...",
+        help="comma-separated subset (default: every registered company)",
+    )
+    s.add_argument(
+        "--max-warm",
+        type=int,
+        default=32,
+        metavar="N",
+        help="LRU bound on warm models (default: 32)",
+    )
+    s.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a checkpointed fleet instead of starting fresh "
+        "(requires --checkpoint)",
+    )
+    _add_batch_options(s)
+    s.set_defaults(func=_cmd_registry_query)
+
+    p = sub.add_parser(
         "batch",
         help="supervised batch jobs (run / resume with checkpointing)",
         epilog=EXIT_CODES_EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     batch = p.add_subparsers(dest="batch_command", required=True)
-
-    def _add_batch_options(sp, *, checkpoint_required: bool) -> None:
-        sp.add_argument(
-            "--checkpoint",
-            metavar="DIR",
-            required=checkpoint_required,
-            help="checkpoint journal directory (append-only, fsync'd); "
-            "enables crash/Ctrl-C resume via `batch resume`",
-        )
-        sp.add_argument(
-            "--workers",
-            type=int,
-            metavar="N",
-            help="worker threads (default: min(8, pending queries))",
-        )
-        sp.add_argument(
-            "--max-pending",
-            type=int,
-            default=64,
-            metavar="N",
-            help="admission-queue bound: at most N queries in flight or "
-            "queued; feeding blocks above it (default: 64)",
-        )
-        sp.add_argument(
-            "--shed-above",
-            type=int,
-            metavar="N",
-            help="load-shed instead of queueing once N queries are pending "
-            "(each shed query answers UNKNOWN immediately; must be <= "
-            "--max-pending; default: off, pure backpressure)",
-        )
-        sp.add_argument(
-            "--stall-after",
-            type=float,
-            metavar="S",
-            help="watchdog threshold: a query running S seconds without a "
-            "heartbeat is cancelled, its worker replaced, and its slot "
-            "answered UNKNOWN with a stall report (default: off)",
-        )
-        sp.add_argument(
-            "--timeout",
-            type=float,
-            metavar="S",
-            help="per-query wall-clock ceiling composed onto the solver "
-            "deadline as min(configured, S); default unchanged",
-        )
-        sp.add_argument(
-            "--stats",
-            action="store_true",
-            help="print merged pipeline metrics for the job",
-        )
-        sp.add_argument(
-            "--json",
-            metavar="FILE",
-            help="write the full structured JobResult to FILE",
-        )
 
     s = batch.add_parser(
         "run",

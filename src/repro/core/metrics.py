@@ -61,6 +61,14 @@ class PipelineMetrics:
     checkpoint_records: int = 0  # outcomes appended to the checkpoint journal
     checkpoint_restored: int = 0  # outcomes restored from the journal on resume
     jobs_aborted: int = 0  # graceful drains (SIGINT/SIGTERM or request_drain)
+    # Multi-policy registry accounting (repro.registry): tracked on
+    # PolicyPipeline.metrics, like the snapshot counters above.
+    registry_hits: int = 0  # get_model served from the warm LRU
+    registry_misses: int = 0  # get_model that had to load a shard from disk
+    registry_evictions: int = 0  # warm models evicted by the LRU bound
+    policies_minted: int = 0  # policies generated + committed by mint
+    fleet_queries: int = 0  # query_fleet invocations
+    fleet_companies: int = 0  # per-company queries fanned out by query_fleet
 
     @property
     def cache_hits(self) -> int:
@@ -142,6 +150,12 @@ class PipelineMetrics:
             f"checkpoint: {self.checkpoint_records} written, "
             f"{self.checkpoint_restored} restored, "
             f"{self.jobs_aborted} drains",
+            f"registry: {self.registry_hits} warm hits / "
+            f"{self.registry_misses} shard loads "
+            f"({self.registry_evictions} evicted); "
+            f"{self.policies_minted} minted; "
+            f"fleet: {self.fleet_queries} fan-outs over "
+            f"{self.fleet_companies} companies",
         ]
         return "\n".join(lines)
 

@@ -140,6 +140,11 @@ class PolicyModel:
     node_vocabulary: set[str] = field(default_factory=set)
     revision: int = 0  # bumped by every update; embedded in cache keys
     caches: ModelCaches = field(default_factory=ModelCaches)
+    #: Ground-truth metadata for generated corpora (JSON-safe dict): the
+    #: injected exception pairs and showcase statements the analysis
+    #: experiments score against.  ``None`` for models built from real
+    #: policy text; round-trips through snapshot save/load.
+    provenance: dict | None = None
 
     @property
     def statistics(self):

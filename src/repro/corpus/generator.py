@@ -46,6 +46,23 @@ class ExceptionPair:
     exception: str
     coherent: bool  # True when the exception carries an explicit condition
 
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "data_type": self.data_type,
+            "general_rule": self.general_rule,
+            "exception": self.exception,
+            "coherent": self.coherent,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, object]) -> "ExceptionPair":
+        return cls(
+            data_type=str(raw["data_type"]),
+            general_rule=str(raw["general_rule"]),
+            exception=str(raw["exception"]),
+            coherent=bool(raw["coherent"]),
+        )
+
 
 @dataclass(slots=True)
 class GeneratorProfile:
@@ -77,6 +94,39 @@ class PolicyDocument:
     @property
     def word_count(self) -> int:
         return len(self.text.split())
+
+    def ground_truth(self) -> dict[str, object]:
+        """JSON-safe ground-truth metadata, suitable for persistence.
+
+        Everything an experiment needs to score verdicts against the
+        generator's injected material — carried on
+        :attr:`~repro.core.pipeline.PolicyModel.provenance` so it
+        round-trips through snapshot save/load (see
+        :func:`ground_truth_exception_pairs` for the inverse).
+        """
+        return {
+            "generator": "clause-template",
+            "company": self.company,
+            "platform": self.platform,
+            "seed": self.seed,
+            "word_count": self.word_count,
+            "sections": list(self.sections),
+            "exception_pairs": [p.as_dict() for p in self.exception_pairs],
+            "showcase_statements": list(self.showcase_statements),
+        }
+
+
+def ground_truth_exception_pairs(
+    provenance: dict[str, object],
+) -> list[ExceptionPair]:
+    """Restore the injected pairs from persisted ground-truth metadata."""
+    raw = provenance.get("exception_pairs", [])
+    if not isinstance(raw, list):
+        raise CorpusError("ground truth exception_pairs must be a list")
+    try:
+        return [ExceptionPair.from_dict(entry) for entry in raw]
+    except (KeyError, TypeError) as exc:
+        raise CorpusError(f"malformed ground-truth exception pair: {exc}") from exc
 
 
 class PolicyGenerator:

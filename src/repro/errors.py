@@ -100,6 +100,10 @@ class JobError(ReproError):
     """A supervised batch job was misconfigured or cannot resume."""
 
 
+class RegistryError(ReproError):
+    """The multi-policy registry index is invalid or was misused."""
+
+
 class SnapshotError(ReproError):
     """Base class for model-store persistence failures."""
 

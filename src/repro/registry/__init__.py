@@ -1,0 +1,61 @@
+"""Sharded multi-policy registry with cross-policy fan-out queries.
+
+The paper's disagreement between lawyers and computer scientists plays
+out at *ecosystem* scale — PoliGraph mines thousands of policies, not
+one — and this package lifts the reproduction from "one
+:class:`~repro.core.pipeline.PolicyModel` at a time" to a fleet:
+
+* :mod:`repro.registry.manifest` — the atomic ``REGISTRY.json`` index
+  mapping company -> shard -> snapshot store;
+* :mod:`repro.registry.lru` — :class:`WarmCache`, a bounded LRU of warm
+  models with single-flight shard loads;
+* :mod:`repro.registry.sectors` — sector flavours for minted corpora;
+* :mod:`repro.registry.registry` — :class:`PolicyRegistry`: ``mint``
+  populates hundreds of generated policies deterministically per seed,
+  ``get_model`` serves them warm, ``query_fleet`` fans one question
+  across companies through a supervised, checkpoint-resumable
+  :class:`~repro.jobs.runner.JobRunner`;
+* :mod:`repro.registry.fleet` — :class:`FleetReport`, the per-company
+  verdict aggregate with a deterministic byte-identity serialization.
+
+Typical use::
+
+    from repro.registry import MintSpec, PolicyRegistry
+
+    registry = PolicyRegistry("fleet.reg", max_warm=32)
+    registry.mint(MintSpec(count=100, seed=7))
+    report = registry.query_fleet(
+        "The company shares the email address with advertisers."
+    )
+    print(report.summary())
+"""
+
+from repro.registry.fleet import FleetIdentity, FleetReport, fleet_question
+from repro.registry.lru import WarmCache
+from repro.registry.manifest import (
+    MANIFEST_NAME,
+    Manifest,
+    RegistryEntry,
+    read_manifest,
+    write_manifest,
+)
+from repro.registry.registry import MintReport, MintSpec, PolicyRegistry
+from repro.registry.sectors import DEFAULT_SECTORS, SECTOR_PROFILES, SectorProfile
+
+__all__ = [
+    "PolicyRegistry",
+    "MintSpec",
+    "MintReport",
+    "FleetReport",
+    "FleetIdentity",
+    "fleet_question",
+    "WarmCache",
+    "Manifest",
+    "RegistryEntry",
+    "MANIFEST_NAME",
+    "read_manifest",
+    "write_manifest",
+    "SectorProfile",
+    "SECTOR_PROFILES",
+    "DEFAULT_SECTORS",
+]

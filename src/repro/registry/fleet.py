@@ -1,0 +1,145 @@
+"""Fleet fan-out results: per-company verdicts for one question.
+
+``registry.query_fleet`` asks the *same* question of many companies by
+running one supervised :class:`~repro.jobs.runner.JobRunner` whose
+question suite has one slot per company (``[<company>] <question>``, so
+the checkpoint journal and its digest bind to the exact fan-out).  The
+:class:`FleetReport` wraps the resulting
+:class:`~repro.jobs.runner.JobResult` with the company axis restored.
+
+Checkpoint identity: the journal header's ``company`` field normally
+names the model a job ran against; a fleet job spans many models, so it
+records a synthetic :class:`FleetIdentity` — ``fleet:<digest>`` over the
+sorted ``(company, revision)`` pairs.  Resuming against a registry whose
+membership or revisions changed therefore fails the runner's identity
+guard instead of silently mixing verdicts across fleet compositions.
+
+``FleetReport.as_dict`` is the byte-identity surface: it carries only
+deterministic fields (per-company traces, verdict counts, pending
+companies) and deliberately omits timing, worker counts, restored
+counts, and merged metrics — so an 8-worker run, a 1-worker run, and a
+killed-then-resumed run of the same fleet serialize identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.jobs.runner import JobOutcome, JobResult
+
+
+@dataclass(frozen=True, slots=True)
+class FleetIdentity:
+    """Synthetic model identity binding a checkpoint to a fleet roster."""
+
+    company: str
+    revision: int = 0
+
+
+def fleet_identity(pairs: list[tuple[str, int]]) -> FleetIdentity:
+    """Identity over sorted ``(company, revision)`` pairs."""
+    digest = hashlib.sha256(
+        "\n".join(f"{c}@{r}" for c, r in sorted(pairs)).encode("utf-8")
+    ).hexdigest()
+    return FleetIdentity(company=f"fleet:{digest[:16]}")
+
+
+def fleet_question(company: str, question: str) -> str:
+    """The per-company slot text: company-tagged so the suite digest
+    (and therefore resume validation) covers the roster, not just the
+    question."""
+    return f"[{company}] {question}"
+
+
+@dataclass(slots=True)
+class FleetReport:
+    """Per-company verdicts for one question across the fleet."""
+
+    question: str
+    companies: list[str]
+    job: JobResult
+
+    def __len__(self) -> int:
+        return len(self.companies)
+
+    @property
+    def outcomes(self) -> list[JobOutcome | None]:
+        return self.job.outcomes
+
+    @property
+    def aborted(self) -> bool:
+        return self.job.aborted
+
+    def per_company(self) -> list[tuple[str, JobOutcome | None]]:
+        """(company, outcome) pairs; ``None`` outcome = still pending."""
+        return list(zip(self.companies, self.job.outcomes))
+
+    @property
+    def pending_companies(self) -> list[str]:
+        return [self.companies[i] for i in self.job.pending]
+
+    @property
+    def errors(self) -> list[tuple[str, JobOutcome]]:
+        """Companies whose query failed (quarantined shard, query error)."""
+        return [
+            (company, outcome)
+            for company, outcome in self.per_company()
+            if outcome is not None and outcome.failed
+        ]
+
+    def verdict_counts(self) -> dict[str, int]:
+        return self.job.verdict_counts()
+
+    def verdict_of(self, company: str) -> str | None:
+        for name, outcome in self.per_company():
+            if name == company:
+                return None if outcome is None else outcome.verdict.value
+        return None
+
+    def summary(self) -> str:
+        counts = ", ".join(
+            f"{n} {v}" for v, n in sorted(self.verdict_counts().items())
+        )
+        line = (
+            f"fleet {self.question!r}: {len(self.job.completed)}/"
+            f"{len(self.companies)} companies in {self.job.seconds:.2f}s "
+            f"({self.job.max_workers} workers): {counts or 'no verdicts'}"
+        )
+        if self.errors:
+            line += f"; {len(self.errors)} companies errored"
+        if self.job.shed:
+            line += f"; {self.job.shed} shed"
+        if self.job.stalls:
+            line += f"; {len(self.job.stalls)} stalled workers replaced"
+        if self.aborted:
+            line += (
+                f"; ABORTED with {len(self.pending_companies)} companies pending"
+            )
+        return line
+
+    def as_dict(self) -> dict[str, object]:
+        """Deterministic serialization — see the module docstring for
+        what is deliberately omitted and why."""
+        return {
+            "question": self.question,
+            "companies": [
+                {
+                    "company": company,
+                    "verdict": None if outcome is None else outcome.verdict.value,
+                    "trace": None if outcome is None else outcome.as_dict(),
+                }
+                for company, outcome in self.per_company()
+            ],
+            "verdicts": self.verdict_counts(),
+            "pending": self.pending_companies,
+            "aborted": self.aborted,
+            "shed": self.job.shed,
+            "stalls": [s.as_dict() for s in self.job.stalls],
+        }
+
+    def digest(self) -> str:
+        """sha256 over the canonical JSON of :meth:`as_dict`."""
+        payload = json.dumps(self.as_dict(), sort_keys=True).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()

@@ -1,0 +1,119 @@
+"""Sector flavours for minted registry corpora.
+
+The mint path stamps each generated company with one of these profiles so
+a fleet is not a hundred clones of the same policy: every sector adds its
+own data types and user actions to the generator pools (mirroring the
+bundled TikTak/MetaBook/MediTrack profiles in
+:mod:`repro.corpus.policies`) and contributes a CamelCase name stem the
+registry numbers deterministically (``StreamNest000``,
+``CareVault001``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SectorProfile:
+    """Generator flavour for one industry sector."""
+
+    key: str
+    name_stem: str
+    extra_data: tuple[str, ...]
+    extra_user_actions: tuple[str, ...]
+
+
+SECTOR_PROFILES: dict[str, SectorProfile] = {
+    profile.key: profile
+    for profile in (
+        SectorProfile(
+            key="social",
+            name_stem="StreamNest",
+            extra_data=(
+                "watch history",
+                "video content",
+                "comments",
+                "direct messages",
+                "follower lists",
+                "reaction history",
+            ),
+            extra_user_actions=(
+                "record a video",
+                "follow a creator",
+                "react to a post",
+            ),
+        ),
+        SectorProfile(
+            key="health",
+            name_stem="CareVault",
+            extra_data=(
+                "medical history",
+                "prescription records",
+                "appointment notes",
+                "insurance member identifiers",
+                "lab results",
+                "symptom logs",
+            ),
+            extra_user_actions=(
+                "book an appointment",
+                "message a clinician",
+                "refill a prescription",
+            ),
+        ),
+        SectorProfile(
+            key="retail",
+            name_stem="CartWhale",
+            extra_data=(
+                "purchase history",
+                "shipping address",
+                "wishlist contents",
+                "loyalty tier",
+                "return history",
+                "product reviews",
+            ),
+            extra_user_actions=(
+                "place an order",
+                "save an item to a wishlist",
+                "write a review",
+            ),
+        ),
+        SectorProfile(
+            key="fintech",
+            name_stem="LedgerLark",
+            extra_data=(
+                "account balances",
+                "transaction history",
+                "linked bank account details",
+                "credit score range",
+                "spending categories",
+                "payee lists",
+            ),
+            extra_user_actions=(
+                "link a bank account",
+                "send a payment",
+                "set a budget",
+            ),
+        ),
+        SectorProfile(
+            key="travel",
+            name_stem="RoamHeron",
+            extra_data=(
+                "itinerary details",
+                "passport numbers",
+                "frequent flyer numbers",
+                "seat preferences",
+                "trip companions",
+                "hotel stay history",
+            ),
+            extra_user_actions=(
+                "book a trip",
+                "check in online",
+                "store a travel document",
+            ),
+        ),
+    )
+}
+
+#: Default mint rotation: every sector, in a stable order.
+DEFAULT_SECTORS: tuple[str, ...] = tuple(SECTOR_PROFILES)

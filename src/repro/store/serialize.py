@@ -4,7 +4,7 @@ A model snapshot is a set of named byte payloads, one per pipeline
 artifact, each hashed individually in the snapshot manifest:
 
 ========================  =====================================================
-``meta.json``             company, revision, vocabulary
+``meta.json``             company, revision, vocabulary, generator provenance
 ``segments.json``         Phase 1 segmentation with content-hash ids
 ``practices.json``        extracted practices grouped by segment (in order)
 ``data_taxonomy.json``    G_DD as ordered (parent, child) edges
@@ -79,14 +79,18 @@ def _edge_payload(edge: PracticeEdge) -> dict[str, object]:
 def model_artifacts(model: PolicyModel) -> dict[str, bytes]:
     """Serialize every component of ``model`` to named byte payloads."""
     extraction = model.extraction
+    meta: dict[str, object] = {
+        "company": model.company,
+        "revision": model.revision,
+        "vocabulary": sorted(model.node_vocabulary),
+    }
+    # Generated-corpus ground truth travels with the snapshot; the key is
+    # omitted (not nulled) for real-policy models so their meta payload is
+    # byte-identical to pre-provenance snapshots.
+    if model.provenance is not None:
+        meta["provenance"] = model.provenance
     return {
-        "meta.json": _json_bytes(
-            {
-                "company": model.company,
-                "revision": model.revision,
-                "vocabulary": sorted(model.node_vocabulary),
-            }
-        ),
+        "meta.json": _json_bytes(meta),
         "segments.json": _json_bytes(
             [
                 {
@@ -191,6 +195,11 @@ def model_from_artifacts(payloads: Mapping[str, bytes]) -> PolicyModel:
         company = str(meta["company"])
         revision = int(meta["revision"])
         vocabulary = {str(term) for term in meta["vocabulary"]}
+        provenance = meta.get("provenance")
+        if provenance is not None and not isinstance(provenance, dict):
+            raise SnapshotCorruptionError(
+                "meta.json provenance must be a JSON object"
+            )
 
         extraction = ExtractionResult(company=company)
         extraction.segments = [
@@ -230,4 +239,5 @@ def model_from_artifacts(payloads: Mapping[str, bytes]) -> PolicyModel:
         store=store,
         node_vocabulary=vocabulary,
         revision=revision,
+        provenance=provenance,
     )

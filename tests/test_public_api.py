@@ -20,6 +20,7 @@ _PACKAGES = [
     "repro.core",
     "repro.analysis",
     "repro.store",
+    "repro.registry",
 ]
 
 

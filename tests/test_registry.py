@@ -1,0 +1,433 @@
+"""Registry suite: LRU determinism, single-flight loads, mint, provenance.
+
+The :class:`~repro.registry.lru.WarmCache` eviction contract is checked
+against a pure-Python reference replay (eviction order must be a
+function of the access sequence alone), single-flight loading is checked
+with blocking loaders, and a concurrent hammer over disjoint and
+overlapping companies asserts the two registry-level guarantees: no
+shard is ever loaded twice concurrently, and an evicted model is never
+served stale after its store changed on disk.
+
+The generator ground-truth round trip (PR 6 satellite fix) is covered at
+the bottom: a cold load from a minted shard must restore the injected
+exception pairs exactly, and the contradiction analysis must find the
+incoherent ones after the warm start.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import defaultdict
+
+import pytest
+
+from repro import PolicyPipeline, RegistryError
+from repro.analysis import find_contradictions
+from repro.corpus import ground_truth_exception_pairs
+from repro.registry import (
+    MANIFEST_NAME,
+    MintSpec,
+    PolicyRegistry,
+    WarmCache,
+    read_manifest,
+)
+from repro.store import model_artifacts
+
+SPEC = MintSpec(count=6, seed=11, target_words=(340,))
+
+
+@pytest.fixture(scope="module")
+def registry_root(pipeline, tmp_path_factory):
+    root = tmp_path_factory.mktemp("registry") / "reg"
+    registry = PolicyRegistry(root, pipeline=pipeline, max_warm=8)
+    report = registry.mint(SPEC)
+    assert len(report.minted) == SPEC.count
+    return root
+
+
+@pytest.fixture(scope="module")
+def registry(pipeline, registry_root):
+    return PolicyRegistry(registry_root, pipeline=pipeline, max_warm=8)
+
+
+# ---------------------------------------------------------------------------
+# WarmCache: determinism
+# ---------------------------------------------------------------------------
+
+
+def _reference_lru(capacity: int, accesses: list[str]) -> list[str]:
+    """Pure-Python replay: the eviction order the cache must reproduce."""
+    resident: list[str] = []
+    evicted: list[str] = []
+    for key in accesses:
+        if key in resident:
+            resident.remove(key)
+        resident.append(key)
+        while len(resident) > capacity:
+            evicted.append(resident.pop(0))
+    return evicted
+
+
+class TestWarmCacheDeterminism:
+    SEQUENCES = [
+        ["a", "b", "c", "d"],
+        ["a", "b", "a", "c", "a", "d", "e"],
+        ["a", "a", "a", "b", "c", "b", "d", "e", "a"],
+        [random.Random(1234).choice("abcdef") for _ in range(200)],
+    ]
+
+    @pytest.mark.parametrize("capacity", [1, 2, 3])
+    @pytest.mark.parametrize("accesses", SEQUENCES)
+    def test_eviction_order_is_a_pure_function_of_accesses(
+        self, capacity, accesses
+    ):
+        evictions: list[str] = []
+        cache = WarmCache(capacity, on_evict=evictions.append)
+        for key in accesses:
+            cache.get(key, lambda key=key: f"model:{key}")
+        assert evictions == _reference_lru(capacity, accesses)
+        # Residency agrees too, in LRU-first order.
+        reference_resident = []
+        for key in accesses:
+            if key in reference_resident:
+                reference_resident.remove(key)
+            reference_resident.append(key)
+        assert cache.warm_keys() == reference_resident[-capacity:]
+
+    def test_hit_miss_counters(self):
+        cache = WarmCache(2)
+        cache.get("a", lambda: 1)
+        cache.get("a", lambda: 1)
+        cache.get("b", lambda: 2)
+        cache.get("c", lambda: 3)  # evicts a
+        cache.get("a", lambda: 1)  # cold again
+        assert (cache.hits, cache.misses, cache.evictions) == (1, 4, 2)
+
+    def test_invalidate_drops_without_counting_eviction(self):
+        cache = WarmCache(4)
+        cache.get("a", lambda: 1)
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        assert cache.evictions == 0
+        assert "a" not in cache
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WarmCache(0)
+
+
+# ---------------------------------------------------------------------------
+# WarmCache: single-flight concurrency
+# ---------------------------------------------------------------------------
+
+
+class TestWarmCacheSingleFlight:
+    def test_concurrent_cold_readers_load_once(self):
+        cache = WarmCache(4)
+        release = threading.Event()
+        loads = []
+
+        def loader():
+            release.wait(5.0)
+            loads.append(threading.get_ident())
+            return object()
+
+        results = []
+
+        def reader():
+            results.append(cache.get("k", loader))
+
+        threads = [threading.Thread(target=reader) for _ in range(8)]
+        for t in threads:
+            t.start()
+        release.set()
+        for t in threads:
+            t.join(10.0)
+        assert len(loads) == 1
+        values = {id(value) for value, _ in results}
+        assert len(values) == 1  # everyone saw the one loaded object
+        # Exactly one miss (the loader); the waiters count as hits.
+        assert cache.misses == 1
+        assert cache.hits == 7
+
+    def test_slow_load_does_not_block_other_keys(self):
+        cache = WarmCache(4)
+        slow_started = threading.Event()
+        slow_release = threading.Event()
+
+        def slow_loader():
+            slow_started.set()
+            slow_release.wait(5.0)
+            return "slow"
+
+        slow_thread = threading.Thread(
+            target=lambda: cache.get("slow", slow_loader)
+        )
+        slow_thread.start()
+        assert slow_started.wait(5.0)
+        # While 'slow' is mid-load, another key must load immediately.
+        value, hit = cache.get("fast", lambda: "fast")
+        assert (value, hit) == ("fast", False)
+        slow_release.set()
+        slow_thread.join(5.0)
+        assert set(cache.warm_keys()) == {"slow", "fast"}
+
+    @pytest.mark.fleet
+    def test_hammer_never_loads_one_key_concurrently(self):
+        cache = WarmCache(2)
+        lock = threading.Lock()
+        active: dict[str, int] = defaultdict(int)
+        max_active: dict[str, int] = defaultdict(int)
+        source = {k: 0 for k in "abcde"}  # key -> current version
+
+        def loader(key):
+            with lock:
+                active[key] += 1
+                max_active[key] = max(max_active[key], active[key])
+            try:
+                return (key, source[key])
+            finally:
+                with lock:
+                    active[key] -= 1
+
+        failures: list[str] = []
+
+        def worker(worker_id):
+            rng = random.Random(worker_id)
+            keys = "abc" if worker_id % 2 else "cde"  # overlap on 'c'
+            for _ in range(60):
+                key = rng.choice(keys)
+                (got_key, _version), _hit = cache.get(
+                    key, lambda key=key: loader(key)
+                )
+                if got_key != key:
+                    failures.append(f"asked {key}, got {got_key}")
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert failures == []
+        assert max(max_active.values()) == 1, max_active
+
+    def test_never_serves_a_stale_evicted_value(self):
+        cache = WarmCache(1)
+        source = {"a": 0, "b": 0}
+
+        def load(key):
+            return cache.get(key, lambda: (key, source[key]))[0]
+
+        assert load("a") == ("a", 0)
+        source["a"] = 1  # the store changed while 'a' was warm...
+        assert load("a") == ("a", 0)  # ...warm value legitimately served
+        load("b")  # capacity 1: evicts 'a'
+        assert load("a") == ("a", 1)  # reload sees the new state, not a ghost
+
+
+# ---------------------------------------------------------------------------
+# Registry: mint + warm loads
+# ---------------------------------------------------------------------------
+
+
+class TestMint:
+    def test_mint_is_deterministic_across_registries(
+        self, pipeline, registry, tmp_path
+    ):
+        other = PolicyRegistry(tmp_path / "other", pipeline=pipeline)
+        report = other.mint(SPEC)
+        assert sorted(report.minted) == registry.companies()
+        for company in registry.companies():
+            ours, theirs = registry.store_for(company), other.store_for(company)
+            a = ours.manifest(ours.current_id())["artifacts"]
+            b = theirs.manifest(theirs.current_id())["artifacts"]
+            assert a == b, f"{company} artifacts diverge across mints"
+
+    def test_remint_is_idempotent(self, registry):
+        report = registry.mint(SPEC)
+        assert report.minted == []
+        assert sorted(report.skipped) == registry.companies()
+
+    def test_unknown_company_raises(self, registry):
+        with pytest.raises(RegistryError):
+            registry.entry("NoSuchCorp")
+        with pytest.raises(RegistryError):
+            registry.get_model("NoSuchCorp")
+
+    def test_unknown_sector_rejected(self):
+        with pytest.raises(RegistryError):
+            MintSpec(count=1, sectors=("underwater-basket-weaving",))
+
+    def test_reopen_adopts_manifest_shard_count(self, pipeline, tmp_path):
+        registry = PolicyRegistry(tmp_path / "r", pipeline=pipeline, num_shards=4)
+        registry.mint(MintSpec(count=1, seed=1, target_words=(340,)))
+        reopened = PolicyRegistry(
+            tmp_path / "r", pipeline=pipeline, num_shards=16
+        )
+        assert reopened.num_shards == 4
+
+    def test_invalid_manifest_is_an_error_not_a_guess(self, pipeline, tmp_path):
+        root = tmp_path / "broken"
+        root.mkdir()
+        (root / MANIFEST_NAME).write_text("{ not json", "utf-8")
+        with pytest.raises(RegistryError):
+            read_manifest(root)
+        with pytest.raises(RegistryError):
+            PolicyRegistry(root, pipeline=pipeline)
+
+
+class TestWarmRegistry:
+    def test_second_get_is_a_warm_hit(self, pipeline, registry_root):
+        registry = PolicyRegistry(registry_root, pipeline=pipeline, max_warm=8)
+        company = registry.companies()[0]
+        first = registry.get_model(company)
+        hits_before = pipeline.metrics.registry_hits
+        second = registry.get_model(company)
+        assert second is first
+        assert pipeline.metrics.registry_hits == hits_before + 1
+        assert first.company == company
+
+    def test_eviction_forces_a_reload(self, pipeline, registry_root):
+        registry = PolicyRegistry(registry_root, pipeline=pipeline, max_warm=2)
+        a, b, c = registry.companies()[:3]
+        first = registry.get_model(a)
+        registry.get_model(b)
+        registry.get_model(c)  # evicts a
+        assert a not in registry.cache
+        reloaded = registry.get_model(a)
+        assert reloaded is not first  # fresh object from disk
+        assert reloaded.company == a
+
+    def test_evicted_model_is_reloaded_from_current_store(
+        self, pipeline, registry_root
+    ):
+        registry = PolicyRegistry(registry_root, pipeline=pipeline, max_warm=1)
+        a, b = registry.companies()[:2]
+        model = registry.get_model(a)
+        assert model.revision == 0
+        # The store moves on while 'a' is warm.
+        bumped = registry.pipeline.load_model(
+            registry_root / registry.entry(a).store_dir
+        )
+        bumped.revision = 7
+        registry.store_for(a).commit(bumped)
+        registry.get_model(b)  # capacity 1: evicts a
+        assert registry.get_model(a).revision == 7  # never the stale ghost
+
+    @pytest.mark.fleet
+    def test_concurrent_hammer_single_flight_per_shard(self, registry_root):
+        # A dedicated pipeline so the load tracker sees only this test.
+        registry = PolicyRegistry(
+            registry_root, pipeline=PolicyPipeline(), max_warm=2
+        )
+        companies = registry.companies()
+        lock = threading.Lock()
+        active: dict[str, int] = defaultdict(int)
+        max_active: dict[str, int] = defaultdict(int)
+        original = registry.pipeline.load_model
+
+        def tracked_load(directory, **kwargs):
+            key = str(directory)
+            with lock:
+                active[key] += 1
+                max_active[key] = max(max_active[key], active[key])
+            try:
+                return original(directory, **kwargs)
+            finally:
+                with lock:
+                    active[key] -= 1
+
+        registry.pipeline.load_model = tracked_load
+        failures: list[str] = []
+
+        def worker(worker_id):
+            rng = random.Random(worker_id)
+            # Half the threads hammer a disjoint pair, half overlap.
+            pool = (
+                companies[:3] if worker_id % 2 else companies[2:]
+            )
+            for _ in range(20):
+                company = rng.choice(pool)
+                model = registry.get_model(company)
+                if model.company != company:
+                    failures.append(f"asked {company}, got {model.company}")
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60.0)
+        assert failures == []
+        assert max_active, "hammer never loaded a shard"
+        assert max(max_active.values()) == 1, max_active
+
+
+# ---------------------------------------------------------------------------
+# Generator ground truth round-trips through snapshots
+# ---------------------------------------------------------------------------
+
+
+class TestProvenanceRoundTrip:
+    def test_cold_load_restores_exception_pairs_exactly(
+        self, pipeline, registry_root
+    ):
+        # A fresh registry so every model comes cold off the disk.
+        registry = PolicyRegistry(registry_root, pipeline=pipeline, max_warm=8)
+        for company in registry.companies():
+            model = registry.get_model(company)
+            assert model.provenance is not None, company
+            pairs = ground_truth_exception_pairs(model.provenance)
+            assert len(pairs) == SPEC.exception_pairs
+
+        # Byte-level: the persisted ground truth equals a regeneration.
+        from repro.corpus import PolicyGenerator
+
+        company = SPEC.company_of(0)
+        document = PolicyGenerator(SPEC.profile_of(0)).generate(
+            SPEC.words_of(0)
+        )
+        stored = dict(registry.get_model(company).provenance)
+        stored.pop("sector")
+        stored.pop("target_words")
+        assert stored == document.ground_truth()
+
+    def test_contradiction_analysis_scores_after_warm_start(
+        self, pipeline, registry_root
+    ):
+        registry = PolicyRegistry(registry_root, pipeline=pipeline)
+        scored = 0
+        for company in registry.companies():
+            model = registry.get_model(company)
+            injected = [
+                p
+                for p in ground_truth_exception_pairs(model.provenance)
+                if not p.coherent
+            ]
+            if not injected:
+                continue
+            report = find_contradictions(
+                model.extraction.practices, data_taxonomy=model.data_taxonomy
+            )
+            found = {
+                c.denial.params.data_type for c in report.genuine
+            }
+            for pair in injected:
+                # Extraction singularizes ("warranty records" -> "record").
+                assert any(
+                    d in (pair.data_type, pair.data_type[:-1]) for d in found
+                ), f"{company}: injected {pair.data_type!r} not found in {found}"
+                scored += 1
+        assert scored > 0, "spec injected no incoherent pairs to score"
+
+    def test_real_policy_models_keep_provenance_free_meta(self, small_model):
+        assert small_model.provenance is None
+        assert b"provenance" not in model_artifacts(small_model)["meta.json"]
+
+    def test_direct_artifact_round_trip(self, pipeline, registry):
+        from repro.store import model_from_artifacts
+
+        company = registry.companies()[0]
+        model = registry.get_model(company)
+        restored = model_from_artifacts(model_artifacts(model))
+        assert restored.provenance == model.provenance

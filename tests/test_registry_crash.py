@@ -1,0 +1,169 @@
+"""Crash matrix for the registry mint protocol and shard quarantine.
+
+``PolicyRegistry.mint`` has a two-phase durability protocol per company:
+commit the snapshot store first, then rewrite the atomic ``REGISTRY.json``
+manifest.  This suite records the full step schedule of a one-company
+mint with :func:`repro.store.faults.record_steps` and kills it at *every*
+boundary: after each kill the manifest must parse as either the old or
+the new index — never torn — any registered company must actually load,
+and a re-mint must converge to the fully registered state.
+
+Shard quarantine rides along: a corrupt shard surfaces as that company's
+``ErrorOutcome`` (stage ``registry``) inside ``query_fleet`` instead of
+aborting the whole fleet.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro import ErrorOutcome
+from repro.registry import MintSpec, PolicyRegistry, read_manifest
+from repro.store.faults import (
+    CrashInjector,
+    SimulatedCrash,
+    kill_points,
+    record_steps,
+)
+
+pytestmark = [pytest.mark.fleet, pytest.mark.crash]
+
+SPEC_ONE = MintSpec(count=1, seed=3, target_words=(340,))
+COMPANY = SPEC_ONE.company_of(0)
+
+
+@pytest.fixture(scope="module")
+def schedule(pipeline, tmp_path_factory):
+    """Every durable step one mint(count=1) performs, in order."""
+    root = tmp_path_factory.mktemp("sched") / "reg"
+    steps = record_steps(
+        lambda injector: PolicyRegistry(
+            root, pipeline=pipeline, step=injector
+        ).mint(SPEC_ONE)
+    )
+    assert steps, "mint recorded no durable steps"
+    # The manifest rewrite must be part of the recorded protocol, or the
+    # matrix below silently stops covering it.
+    assert "rename:REGISTRY.json" in steps
+    return steps
+
+
+class TestMintKillMatrix:
+    def test_schedule_covers_store_and_manifest(self, schedule):
+        assert any(s.startswith("write:") for s in schedule)
+        assert "publish_current" in schedule
+        assert schedule.index("publish_current") < schedule.index(
+            "rename:REGISTRY.json"
+        ), "manifest must be written only after the store is published"
+
+    def test_every_boundary_recovers_old_or_new(
+        self, pipeline, schedule, tmp_path_factory
+    ):
+        for step, occurrence in kill_points(schedule):
+            root = tmp_path_factory.mktemp("kill") / "reg"
+            injector = CrashInjector(step, occurrence=occurrence)
+            with pytest.raises(SimulatedCrash):
+                PolicyRegistry(root, pipeline=pipeline, step=injector).mint(
+                    SPEC_ONE
+                )
+
+            # Recovery: a fresh process reads the manifest cold.
+            manifest = read_manifest(root)  # must parse — never torn
+            assert sorted(manifest.entries) in ([], [COMPANY]), (
+                step,
+                occurrence,
+            )
+            reopened = PolicyRegistry(root, pipeline=pipeline)
+            if COMPANY in reopened:
+                # Registered implies loadable: the store was committed
+                # strictly before the manifest entry appeared.
+                model = reopened.get_model(COMPANY)
+                assert model.company == COMPANY, (step, occurrence)
+
+            # Re-mint converges regardless of where the kill landed.
+            report = reopened.mint(SPEC_ONE)
+            assert sorted(report.minted + report.skipped) == [COMPANY]
+            assert reopened.get_model(COMPANY).provenance is not None
+
+    def test_kill_between_store_commit_and_manifest_entry(
+        self, pipeline, tmp_path
+    ):
+        """The designed crash window: committed store, no manifest entry."""
+        injector = CrashInjector("write:REGISTRY.json")
+        with pytest.raises(SimulatedCrash):
+            PolicyRegistry(
+                tmp_path / "reg", pipeline=pipeline, step=injector
+            ).mint(SPEC_ONE)
+        manifest = read_manifest(tmp_path / "reg")
+        assert manifest.entries == {}  # orphan store, dangling nothing
+        reopened = PolicyRegistry(tmp_path / "reg", pipeline=pipeline)
+        report = reopened.mint(SPEC_ONE)
+        assert report.minted == [COMPANY]
+
+    def test_second_company_manifest_kill_keeps_first(
+        self, pipeline, tmp_path
+    ):
+        spec = MintSpec(count=2, seed=3, target_words=(340,))
+        first, second = spec.company_of(0), spec.company_of(1)
+        # Occurrence 2 of the manifest temp-file write = the second
+        # company's registration, killed before its rename publishes it;
+        # the first company's entry is already durable.
+        injector = CrashInjector("write:REGISTRY.json", occurrence=2)
+        with pytest.raises(SimulatedCrash):
+            PolicyRegistry(
+                tmp_path / "reg", pipeline=pipeline, step=injector
+            ).mint(spec)
+        reopened = PolicyRegistry(tmp_path / "reg", pipeline=pipeline)
+        assert reopened.companies() == [first]
+        assert reopened.get_model(first).company == first
+        report = reopened.mint(spec)
+        assert report.minted == [second]
+        assert report.skipped == [first]
+
+
+class TestShardQuarantine:
+    @pytest.fixture(scope="class")
+    def fleet_root(self, pipeline, tmp_path_factory):
+        root = tmp_path_factory.mktemp("quarantine") / "reg"
+        PolicyRegistry(root, pipeline=pipeline).mint(
+            MintSpec(count=4, seed=5, target_words=(340,))
+        )
+        return root
+
+    def _corrupt(self, registry: PolicyRegistry, company: str) -> None:
+        """Destroy every snapshot artifact behind one company."""
+        store_dir = registry.root / registry.entry(company).store_dir
+        for artifact in store_dir.glob("snapshots/*/graph.json"):
+            artifact.write_bytes(b'{"tampered": true}')
+
+    def test_corrupt_shard_is_isolated_not_fatal(self, pipeline, fleet_root):
+        registry = PolicyRegistry(fleet_root, pipeline=pipeline)
+        victim = registry.companies()[1]
+        self._corrupt(registry, victim)
+        report = registry.query_fleet(
+            "The company shares the email address with advertisers."
+        )
+        assert not report.aborted
+        by_company = dict(report.per_company())
+        outcome = by_company[victim]
+        assert isinstance(outcome, ErrorOutcome)
+        assert outcome.stage == "registry"
+        healthy = [c for c in registry.companies() if c != victim]
+        for company in healthy:
+            assert not isinstance(by_company[company], ErrorOutcome), company
+        assert report.verdict_counts().get("ERROR") == 1
+
+    def test_missing_store_directory_is_isolated_too(
+        self, pipeline, fleet_root
+    ):
+        registry = PolicyRegistry(fleet_root, pipeline=pipeline)
+        victim = registry.companies()[2]
+        shutil.rmtree(registry.root / registry.entry(victim).store_dir)
+        report = registry.query_fleet(
+            "The company shares the email address with advertisers.",
+            [victim, registry.companies()[0]],
+        )
+        assert not report.aborted
+        assert isinstance(dict(report.per_company())[victim], ErrorOutcome)
