@@ -7,7 +7,7 @@ hierarchy on and off and reports how many resolve (VALID or conditionally
 valid) in each mode — the hierarchy must strictly widen query coverage.
 """
 
-from conftest import print_table
+from conftest import print_table, write_bench_json
 
 from repro import PipelineConfig, PolicyPipeline, Verdict
 from repro.corpus import tiktak_policy
@@ -74,5 +74,16 @@ def test_a1_hierarchy_ablation(benchmark):
     edges_with = sum(r[5] for r in rows)
     edges_without = sum(r[6] for r in rows)
     assert edges_with > edges_without
+
+    write_bench_json(
+        "a1_hierarchy_ablation",
+        {
+            "queries": len(QUERIES),
+            "proven_with_hierarchy": proven_with,
+            "proven_without_hierarchy": proven_without,
+            "subgraph_edges_with_hierarchy": edges_with,
+            "subgraph_edges_without_hierarchy": edges_without,
+        },
+    )
 
     benchmark(with_h.query, model_with, QUERIES[0])

@@ -9,7 +9,7 @@ this bench measures each against its naive baseline.
 
 import time
 
-from conftest import print_table
+from conftest import print_table, write_bench_json
 
 from repro import SolverBudget
 from repro.core.encode import encode_query
@@ -86,6 +86,17 @@ def test_a2_check_sat_assuming_vs_resolve(benchmark, metabook_model):
     assert incr_results == naive_results  # identical verdicts
     assert incr_seconds < naive_seconds
 
+    write_bench_json(
+        "a2_solver_optimizations",
+        {
+            "condition_probes": len(conditions),
+            "fresh_solve_seconds": round(naive_seconds, 6),
+            "incremental_seconds": round(incr_seconds, 6),
+            "speedup": round(naive_seconds / max(incr_seconds, 1e-9), 2),
+        },
+        section="check_sat_assuming",
+    )
+
     benchmark(incremental.check_sat_assuming, [
         PredicateSymbol(conditions[0], (), uninterpreted=True)()
     ])
@@ -118,6 +129,16 @@ def test_a2_simplification_and_pruning(benchmark, metabook_model):
         [["full encoding", full_size], ["pruned to query predicates", pruned_size]],
     )
     assert pruned_size < full_size
+
+    write_bench_json(
+        "a2_solver_optimizations",
+        {
+            "full_conjuncts": full_size,
+            "pruned_conjuncts": pruned_size,
+            "reduction": round(1 - pruned_size / full_size, 4),
+        },
+        section="relevance_pruning",
+    )
 
     # Soundness of the prune for this query: the verdict is unchanged.
     full_solver = Solver(budget=BUDGET)
@@ -193,6 +214,20 @@ def test_a2_cnf_preprocessing(benchmark, metabook_model):
         ],
     )
     assert len(result.clauses) < 0.8 * len(clauses)
+
+    write_bench_json(
+        "a2_solver_optimizations",
+        {
+            "input_clauses": len(clauses),
+            "output_clauses": len(result.clauses),
+            "units_fixed": result.stats.units_fixed,
+            "subsumed_removed": result.stats.subsumed_removed,
+            "pure_eliminated": result.stats.pure_eliminated,
+            "reduction": round(1 - len(result.clauses) / len(clauses), 4),
+            "presolve_seconds": round(seconds, 6),
+        },
+        section="cnf_preprocessing",
+    )
 
     # End-to-end: the preprocessing-enabled solver agrees with the plain one.
     plain = Solver(budget=BUDGET)

@@ -19,7 +19,7 @@ with 8 workers, and asserts:
 
 import time
 
-from conftest import print_table
+from conftest import print_table, write_bench_json
 
 from repro import PipelineConfig, PolicyPipeline
 
@@ -86,6 +86,22 @@ def test_a3_batch_queries(pipeline, tiktak_model, benchmark):
     assert speedup >= 2.0, (
         f"expected >= 2x speedup on the repeated-term suite, got {speedup:.2f}x "
         f"({seq_seconds:.2f}s sequential vs {batch_seconds:.2f}s batched)"
+    )
+
+    write_bench_json(
+        "a3_batch_queries",
+        {
+            "queries": len(suite),
+            "distinct_queries": len(DISTINCT_QUERIES),
+            "workers": BATCH_WORKERS,
+            "sequential_seconds": round(seq_seconds, 6),
+            "batch_seconds": round(batch_seconds, 6),
+            "speedup": round(speedup, 2),
+            "verification_hits": metrics.verification_hits,
+            "verification_misses": metrics.verification_misses,
+            "translation_hits": metrics.translation_hits,
+            "translation_misses": metrics.translation_misses,
+        },
     )
 
     # Steady-state benchmark: the warm-cache batch the audit loop would run.

@@ -19,7 +19,7 @@ Two regimes are exercised:
 
 import time
 
-from conftest import print_table
+from conftest import print_table, write_bench_json
 
 from repro import SolverBudget
 from repro.core.encode import encode_query
@@ -165,3 +165,16 @@ def test_a4_degradation_ladder(tiktak_model):
     # The base failure really was a budget failure in the starved regime.
     base_row = [r for r in rows if r[0].endswith("@R3 budget") and r[1] == "(base)"]
     assert base_row and "budget" in base_row[0][3] or "timeout" in base_row[0][3]
+
+    write_bench_json(
+        "a4_degradation_ladder",
+        {
+            "query_terms": len(QUERY_TERMS),
+            "unknown_at_default_budget": unknown,
+            "rescued": rescued,
+            "email_escalations": email_report.escalations,
+            "email_decompositions": email_report.decompositions,
+            "starved_escalations": starved_report.escalations,
+            "starved_rescued": starved_report.rescued,
+        },
+    )

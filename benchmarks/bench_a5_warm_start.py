@@ -10,7 +10,7 @@ loaded model is structurally audit-clean.
 
 import time
 
-from conftest import print_table
+from conftest import print_table, write_bench_json
 
 from repro import PolicyPipeline
 from repro.corpus import metabook_policy, tiktak_policy
@@ -69,6 +69,18 @@ def test_a5_warm_start(tmp_path, benchmark):
             f"{name}: snapshot load ({load_seconds:.2f}s) should beat "
             f"re-extraction ({process_seconds:.2f}s)"
         )
+
+    write_bench_json(
+        "a5_warm_start",
+        {
+            name: {
+                "process_seconds": round(process_seconds, 6),
+                "load_seconds": round(load_seconds, 6),
+                "speedup": round(speedup, 2),
+            }
+            for name, process_seconds, load_seconds, speedup in speedups
+        },
+    )
 
     # Steady-state warm start on the biggest corpus: verified load only.
     benchmark.pedantic(

@@ -19,7 +19,7 @@ every query pays the full verification, and reports:
 
 import time
 
-from conftest import print_table
+from conftest import print_table, write_bench_json
 
 from repro import PipelineConfig, PolicyPipeline
 
@@ -116,3 +116,18 @@ def test_a6_certification_overhead(tiktak_model):
     exercised = {c for r in reports for c in r.checks}
     assert "cnf-model" in exercised or "fol-model" in exercised
     assert "proof-replay" in exercised
+
+    write_bench_json(
+        "a6_certification_overhead",
+        {
+            "queries": len(QUERIES) * REPEATS,
+            "rounds": ROUNDS,
+            "plain_seconds": round(plain_seconds, 6),
+            "certified_seconds": round(certified_seconds, 6),
+            "overhead": round(overhead, 4),
+            "overhead_target": OVERHEAD_TARGET,
+            "certificate_seconds": round(cert_seconds, 6),
+            "certificates": len(reports),
+            "checks_exercised": sorted(exercised),
+        },
+    )

@@ -16,7 +16,7 @@ worker threads between queries, so the solver work dominates.
 import json
 import time
 
-from conftest import print_table
+from conftest import print_table, write_bench_json
 
 from repro import JobConfig, JobRunner
 
@@ -108,6 +108,20 @@ def test_a7_checkpoint_overhead(pipeline, tiktak_model, tmp_path, benchmark):
         f"({plain_seconds:.3f}s plain vs {job_seconds:.3f}s supervised); "
         f"the <{MAX_OVERHEAD:.0%} budget says durability must ride along "
         f"with solver work, not dominate it"
+    )
+
+    write_bench_json(
+        "a7_checkpoint_overhead",
+        {
+            "queries": len(suite),
+            "workers": BATCH_WORKERS,
+            "rounds": ROUNDS,
+            "plain_seconds": round(plain_seconds, 6),
+            "supervised_seconds": round(job_seconds, 6),
+            "overhead": round(overhead, 4),
+            "overhead_budget": MAX_OVERHEAD,
+            "journal_records": job.metrics.checkpoint_records,
+        },
     )
 
     # Steady-state number for regression tracking: the checkpointed run.

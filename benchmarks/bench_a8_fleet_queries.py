@@ -18,7 +18,7 @@ resumes from its checkpoint to byte-identical report bytes.
 
 import time
 
-from conftest import print_table
+from conftest import print_table, write_bench_json
 
 from repro import JobConfig, PolicyPipeline
 from repro.registry import MintSpec, PolicyRegistry
@@ -135,6 +135,20 @@ def test_a8_fleet_queries(pipeline, tmp_path, benchmark):
         f"warm fleet fan-out only {speedup:.1f}x faster than {len(companies)} "
         f"cold invocations ({cold_seconds:.3f}s vs {warm_seconds:.3f}s); the "
         f">= {MIN_SPEEDUP:.0f}x bar is the registry's reason to exist"
+    )
+
+    write_bench_json(
+        "a8_fleet_queries",
+        {
+            "companies": len(companies),
+            "workers": FLEET_WORKERS,
+            "rounds": ROUNDS,
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_seconds": round(warm_seconds, 6),
+            "speedup": round(speedup, 2),
+            "min_speedup": MIN_SPEEDUP,
+            "mint_seconds": round(mint_report.seconds, 6),
+        },
     )
 
     # Steady-state number for regression tracking: the warm fan-out.

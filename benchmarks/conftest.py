@@ -8,10 +8,15 @@ reproduction check.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro import PolicyPipeline
 from repro.corpus import metabook_policy, tiktak_policy
+
+BENCH_DIR = Path(__file__).resolve().parent
 
 
 @pytest.fixture(scope="session")
@@ -27,6 +32,32 @@ def tiktak_model(pipeline):
 @pytest.fixture(scope="session")
 def metabook_model(pipeline):
     return pipeline.process(metabook_policy().text)
+
+
+def write_bench_json(
+    name: str, payload: dict, *, section: str | None = None
+) -> Path:
+    """Persist a bench's headline numbers as ``BENCH_<name>.json``.
+
+    The machine-readable twin of the printed table: labels and measured
+    numbers only — no timestamps, hostnames, or environment echo — so
+    committed artifacts diff as pure performance movement.  A bench file
+    with several tests passes ``section`` so each test owns one top-level
+    key of the shared artifact instead of overwriting its siblings.
+    """
+    path = BENCH_DIR / f"BENCH_{name}.json"
+    if section is None:
+        data = payload
+    else:
+        data = {}
+        if path.exists():
+            try:
+                data = json.loads(path.read_text("utf-8"))
+            except (OSError, json.JSONDecodeError):
+                data = {}
+        data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n", "utf-8")
+    return path
 
 
 def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:

@@ -23,7 +23,7 @@ backend (:mod:`repro.llm`), deterministic embeddings
 Meta-scale policy corpora (:mod:`repro.corpus`).
 """
 
-from repro.core.metrics import PipelineMetrics
+from repro.core.metrics import LatencyReservoir, PipelineMetrics
 from repro.core.pipeline import (
     BatchOutcome,
     ErrorOutcome,
@@ -34,10 +34,17 @@ from repro.core.pipeline import (
     UpdateStats,
 )
 from repro.core.verify import Verdict, VerificationResult
-from repro.errors import JobError, RegistryError, ReproError, SnapshotError
+from repro.errors import (
+    JobError,
+    RegistryError,
+    ReproError,
+    ServerError,
+    SnapshotError,
+)
 from repro.jobs import JobConfig, JobResult, JobRunner
 from repro.registry import FleetReport, MintSpec, PolicyRegistry
 from repro.resilience import BudgetLadder, DegradationReport
+from repro.server import PolicyServer, ServerConfig, ServingClient
 from repro.solver.interface import SolverBudget
 from repro.store import AuditReport, SnapshotStore
 
@@ -65,6 +72,11 @@ __all__ = [
     "MintSpec",
     "FleetReport",
     "RegistryError",
+    "PolicyServer",
+    "ServerConfig",
+    "ServerError",
+    "ServingClient",
+    "LatencyReservoir",
     "SnapshotStore",
     "AuditReport",
     "ReproError",

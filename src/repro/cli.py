@@ -18,6 +18,8 @@ Usage (also available as ``python -m repro``)::
     repro-policy registry list --root DIR
     repro-policy registry query --root DIR "QUESTION" [--companies A,B] \\
         [--checkpoint DIR] [--resume]
+    repro-policy serve --root DIR [--port P] [--shed-above N] \\
+        [--deadline S] [--warm N]
 
 Every command runs fully offline on the bundled substrates.
 """
@@ -54,6 +56,8 @@ exit codes:
   6  job aborted with a partial checkpoint: a `batch` run drained on
      SIGINT/SIGTERM before finishing; completed verdicts are committed to
      the checkpoint journal and `batch resume` picks up the rest
+  7  server failed to bind or become ready: `serve` could not take its
+     address, or the registry root has no companies to serve
 """
 
 
@@ -501,6 +505,46 @@ def _cmd_registry_query(args: argparse.Namespace) -> int:
     return _job_exit_code(report.job)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ServerError
+    from repro.server import PolicyServer, ServerConfig
+
+    try:
+        config = ServerConfig(
+            root=args.root,
+            host=args.host,
+            port=args.port,
+            max_pending=args.max_pending,
+            shed_above=args.shed_above,
+            default_deadline=args.deadline,
+            max_warm=args.max_warm,
+            warm_on_start=args.warm,
+            drain_grace=args.drain_grace,
+        )
+    except ValueError as exc:
+        raise ReproError(f"invalid serve options: {exc}") from None
+    server = PolicyServer(config)
+    try:
+        server.start()
+    except ServerError as exc:
+        print(f"server error: {exc}", file=sys.stderr)
+        return 7
+    host, port = server.address
+    print(f"serving {len(server.companies())} companies on http://{host}:{port}")
+    print(
+        "endpoints: /query /fleet /healthz /readyz /stats /reload /drain "
+        "(SIGINT/SIGTERM drains gracefully)"
+    )
+    report = server.serve_until_drained()
+    print(report.summary())
+    if args.stats:
+        print("\n--- pipeline metrics ---")
+        stats = server.metrics
+        stats.merge(server.pipeline.metrics)
+        print(stats.render())
+    return 0
+
+
 def _cmd_batch_run(args: argparse.Namespace) -> int:
     from repro.jobs import JobRunner
 
@@ -758,6 +802,78 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_batch_options(s)
     s.set_defaults(func=_cmd_registry_query)
+
+    p = sub.add_parser(
+        "serve",
+        help="resident serving daemon: warm fleet queries over HTTP with "
+        "graceful drain, hot reload, and load shedding",
+        epilog=EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument("--root", required=True, help="registry directory to serve")
+    p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="TCP port; 0 picks an ephemeral port (default: 8321)",
+    )
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=8,
+        metavar="N",
+        help="admission bound: at most N requests executing at once; "
+        "excess requests wait, bounded by their deadline (default: 8)",
+    )
+    p.add_argument(
+        "--shed-above",
+        type=int,
+        metavar="N",
+        help="load-shed watermark: an in-flight depth >= N sheds the "
+        "request as a fast 503 instead of queueing it (must be <= "
+        "--max-pending; default: off)",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="per-request wall-clock deadline; clients may tighten it, "
+        "never loosen it, and the remainder tightens the solver budget "
+        "(default: 10)",
+    )
+    p.add_argument(
+        "--max-warm",
+        type=int,
+        default=32,
+        metavar="N",
+        help="LRU bound on warm models per epoch (default: 32)",
+    )
+    p.add_argument(
+        "--warm",
+        type=int,
+        default=-1,
+        metavar="N",
+        help="companies to pre-load before ready and before each reload "
+        "swap: -1 all, 0 none, N first N (default: -1)",
+    )
+    p.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds a graceful drain waits for in-flight requests "
+        "(default: 30)",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print merged pipeline metrics after the drain",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "batch",

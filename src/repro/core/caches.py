@@ -16,15 +16,19 @@ between queries:
 
 Every key embeds the model's ``revision`` counter, so entries surviving an
 incremental update can never be served stale; :meth:`clear` additionally
-drops them eagerly.  Lookups and stores are lock-guarded; values are
-computed outside the lock, so a race costs at most one redundant (but
-deterministic, hence identical) computation.
+drops them eagerly.  Lookups and stores are lock-guarded; computations run
+outside the lock.  :meth:`get_or_compute` is additionally *single-flight*
+per key: concurrent callers of an uncached key elect one leader to compute
+while the rest park on an event and reuse its result — a batch of repeated
+queries pays for each distinct problem exactly once, no matter how the
+thread pool interleaves them.  If the leader's computation raises, waiters
+are woken to elect a new leader rather than inheriting the failure.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any
+from typing import Any, Callable
 
 _MISS = object()
 
@@ -37,6 +41,9 @@ class ModelCaches:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._tables: dict[str, dict[Any, Any]] = {kind: {} for kind in self.KINDS}
+        self._inflight: dict[str, dict[Any, threading.Event]] = {
+            kind: {} for kind in self.KINDS
+        }
         self.hits: dict[str, int] = {kind: 0 for kind in self.KINDS}
         self.misses: dict[str, int] = {kind: 0 for kind in self.KINDS}
 
@@ -53,6 +60,48 @@ class ModelCaches:
     def put(self, kind: str, key: Any, value: Any) -> None:
         with self._lock:
             self._tables[kind][key] = value
+
+    def get_or_compute(
+        self, kind: str, key: Any, compute: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        """``(value, computed)`` — single-flight per key.
+
+        Concurrent callers of an uncached key elect one leader; the rest
+        wait on its event and return the leader's cached result.
+        ``computed`` is True only for the caller that actually ran
+        ``compute``, so callers can attribute hit/miss (and any
+        per-computation side accounting) correctly.  A leader whose
+        ``compute`` raises clears the flight before re-raising; parked
+        waiters wake, re-check the table, and elect a new leader.
+        """
+        while True:
+            with self._lock:
+                value = self._tables[kind].get(key, _MISS)
+                if value is not _MISS:
+                    self.hits[kind] += 1
+                    return value, False
+                flight = self._inflight[kind].get(key)
+                if flight is None:
+                    flight = self._inflight[kind][key] = threading.Event()
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                flight.wait()
+                continue  # value present now, or the leader failed: re-check
+            try:
+                value = compute()
+            except BaseException:
+                with self._lock:
+                    self._inflight[kind].pop(key, None)
+                flight.set()
+                raise
+            with self._lock:
+                self._tables[kind][key] = value
+                self._inflight[kind].pop(key, None)
+                self.misses[kind] += 1
+            flight.set()
+            return value, True
 
     def clear(self) -> None:
         """Drop every entry (called on incremental model updates)."""

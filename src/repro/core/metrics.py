@@ -11,7 +11,128 @@ One instance is attached to every :class:`~repro.core.pipeline.QueryOutcome`;
 
 from __future__ import annotations
 
+import math
+import threading
 from dataclasses import dataclass, fields
+
+
+class LatencyReservoir:
+    """Deterministic bounded latency sketch with mergeable percentiles.
+
+    Stage-seconds sums answer "how much did the batch cost" but not "what
+    did the slowest 1% of requests see" — the question a serving daemon's
+    SLO lives on.  This reservoir records samples into log-spaced buckets
+    (:data:`PER_OCTAVE` per factor of two above a 1 µs floor), so it is:
+
+    * **bounded** — a fixed array of integers, independent of sample count;
+    * **deterministic** — the same multiset of samples produces the same
+      state regardless of arrival or merge order (no RNG, unlike classic
+      reservoir sampling);
+    * **mergeable** — :meth:`merge` adds bucket counts elementwise, so
+      per-worker reservoirs fold into one exact-as-if-central sketch.
+
+    Quantiles interpolate geometrically inside the winning bucket, so the
+    relative error is bounded by the bucket width (≈ 2^(1/8) ≈ 9%); count,
+    sum, min, and max are tracked exactly.  Thread-safe: concurrent
+    ``record`` calls from server worker threads take a small lock.
+    """
+
+    PER_OCTAVE = 8
+    _FLOOR = 1e-6  # 1 µs: everything faster lands in bucket 0
+    _OCTAVES = 40  # ceiling ≈ 1e-6 * 2^40 s ≈ 12.7 days
+    BUCKETS = PER_OCTAVE * _OCTAVES
+
+    __slots__ = ("_lock", "_buckets", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._buckets = [0] * self.BUCKETS
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def _index(self, seconds: float) -> int:
+        if seconds <= self._FLOOR:
+            return 0
+        index = int(math.log2(seconds / self._FLOOR) * self.PER_OCTAVE)
+        return min(index, self.BUCKETS - 1)
+
+    def record(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        with self._lock:
+            self._buckets[self._index(seconds)] += 1
+            self.count += 1
+            self.sum += seconds
+            self.min = min(self.min, seconds)
+            self.max = max(self.max, seconds)
+
+    def merge(self, other: "LatencyReservoir") -> None:
+        """Fold ``other`` in; the result equals a single central reservoir
+        that saw both sample streams (merge-order independent)."""
+        with other._lock:
+            buckets = list(other._buckets)
+            count, total = other.count, other.sum
+            lo, hi = other.min, other.max
+        with self._lock:
+            for i, n in enumerate(buckets):
+                if n:
+                    self._buckets[i] += n
+            self.count += count
+            self.sum += total
+            self.min = min(self.min, lo)
+            self.max = max(self.max, hi)
+
+    def quantile(self, q: float) -> float:
+        """The latency at rank ``ceil(q * count)`` (0 for an empty sketch)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = max(1, math.ceil(q * self.count))
+            seen = 0
+            for index, n in enumerate(self._buckets):
+                if n == 0:
+                    continue
+                if seen + n >= rank:
+                    lo = self._FLOOR * 2 ** (index / self.PER_OCTAVE)
+                    hi = lo * 2 ** (1 / self.PER_OCTAVE)
+                    # Geometric interpolation by position within the bucket,
+                    # clamped to the exact extremes the sketch tracked.
+                    position = (rank - seen) / n
+                    value = lo * (hi / lo) ** position
+                    return min(max(value, self.min), self.max)
+                seen += n
+        return self.max  # pragma: no cover - unreachable (counts sum to count)
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "count": self.count,
+            "mean_seconds": round(self.mean, 6),
+            "min_seconds": round(self.min, 6) if self.count else 0.0,
+            "max_seconds": round(self.max, 6),
+            "p50_seconds": round(self.p50, 6),
+            "p95_seconds": round(self.p95, 6),
+            "p99_seconds": round(self.p99, 6),
+        }
 
 
 @dataclass(slots=True)
@@ -69,6 +190,17 @@ class PipelineMetrics:
     policies_minted: int = 0  # policies generated + committed by mint
     fleet_queries: int = 0  # query_fleet invocations
     fleet_companies: int = 0  # per-company queries fanned out by query_fleet
+    # Serving-daemon accounting (repro.server): tracked on the server's
+    # own PipelineMetrics and merged with the pipeline's for /stats.
+    server_requests: int = 0  # requests admitted and executed
+    server_reloads: int = 0  # hot epoch swaps performed by /reload
+    server_drains: int = 0  # graceful drains begun (signal or /drain)
+    deadline_refusals: int = 0  # requests refused because the deadline expired
+    queue_depth: int = 0  # admission depth gauge (merged by max, like high-water)
+    #: Tail-latency sketch (p50/p95/p99) for served requests; ``None``
+    #: everywhere metrics must stay byte-identical to prior releases —
+    #: only the serving layer allocates one.
+    latency: "LatencyReservoir | None" = None
 
     @property
     def cache_hits(self) -> int:
@@ -91,13 +223,20 @@ class PipelineMetrics:
 
     #: Gauges folded by max instead of sum: a batch's peak queue depth is
     #: the largest any constituent saw, not their total.
-    _MAX_MERGED = frozenset({"queue_high_water"})
+    _MAX_MERGED = frozenset({"queue_high_water", "queue_depth"})
 
     def merge(self, other: "PipelineMetrics") -> None:
-        """Fold ``other`` into this instance (counters add, gauges max)."""
+        """Fold ``other`` into this instance (counters add, gauges max,
+        latency reservoirs bucket-merge)."""
         for spec in fields(self):
             mine, theirs = getattr(self, spec.name), getattr(other, spec.name)
-            if spec.name in self._MAX_MERGED:
+            if spec.name == "latency":
+                if theirs is not None:
+                    if mine is None:
+                        mine = LatencyReservoir()
+                        self.latency = mine
+                    mine.merge(theirs)
+            elif spec.name in self._MAX_MERGED:
                 setattr(self, spec.name, max(mine, theirs))
             else:
                 setattr(self, spec.name, mine + theirs)
@@ -106,6 +245,12 @@ class PipelineMetrics:
         out: dict[str, object] = {}
         for spec in fields(self):
             value = getattr(self, spec.name)
+            if spec.name == "latency":
+                # Omitted when absent so traces without a serving layer
+                # stay byte-identical to prior releases.
+                if value is not None:
+                    out[spec.name] = value.as_dict()
+                continue
             out[spec.name] = round(value, 6) if isinstance(value, float) else value
         out["cache_hit_rate"] = round(self.hit_rate, 4)
         return out
@@ -156,7 +301,18 @@ class PipelineMetrics:
             f"{self.policies_minted} minted; "
             f"fleet: {self.fleet_queries} fan-outs over "
             f"{self.fleet_companies} companies",
+            f"serving: {self.server_requests} served, "
+            f"{self.deadline_refusals} deadline refusals, "
+            f"{self.server_reloads} reloads, {self.server_drains} drains; "
+            f"queue depth {self.queue_depth}",
         ]
+        if self.latency is not None and self.latency.count:
+            lines.append(
+                f"latency: p50 {self.latency.p50 * 1e3:.1f} ms, "
+                f"p95 {self.latency.p95 * 1e3:.1f} ms, "
+                f"p99 {self.latency.p99 * 1e3:.1f} ms "
+                f"({self.latency.count} samples)"
+            )
         return "\n".join(lines)
 
 

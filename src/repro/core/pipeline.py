@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
-from repro.core.caches import MISS, ModelCaches
+from repro.core.caches import ModelCaches
 from repro.core.encode import EncodedQuery, encode_query
 from repro.core.extraction import ExtractionResult, extract_policy
 from repro.core.graphs import NODE_DATA, NODE_ENTITY, PolicyGraph
@@ -786,21 +786,26 @@ class PolicyPipeline:
             max_edges=self.config.max_subgraph_edges,
             revision=model.revision,
         )
+        def run_extract() -> Subgraph:
+            return extract_subgraph(
+                model.graph,
+                data_terms,
+                entity_terms,
+                use_hierarchy=self.config.include_hierarchy_axioms,
+                max_edges=self.config.max_subgraph_edges,
+            )
+
         if caches is not None:
-            hit = caches.get("subgraph", key)
-            if hit is not MISS:
+            subgraph, computed = caches.get_or_compute(
+                "subgraph", key, run_extract
+            )
+            if computed:
+                metrics.subgraph_misses += 1
+            else:
                 metrics.subgraph_hits += 1
-                return hit
-        subgraph = extract_subgraph(
-            model.graph,
-            data_terms,
-            entity_terms,
-            use_hierarchy=self.config.include_hierarchy_axioms,
-            max_edges=self.config.max_subgraph_edges,
-        )
+            return subgraph
+        subgraph = run_extract()
         metrics.subgraph_misses += 1
-        if caches is not None:
-            caches.put("subgraph", key, subgraph)
         return subgraph
 
     def _verify(
@@ -817,10 +822,12 @@ class PolicyPipeline:
         Each miss builds fresh :class:`~repro.solver.interface.Solver`
         instances inside :func:`verify_encoded`, so concurrent workers
         never share solver state; hits skip the solver entirely and are
-        not counted in the solver totals.  The cache key embeds ``budget``
-        and ``certify``, so results obtained under escalated (or starved)
-        budgets never answer for the default one, and an uncertified
-        verdict never answers for a certified request.
+        not counted in the solver totals.  Concurrent workers on the same
+        uncached problem share one single-flight solve (the followers
+        count as hits — they ran no solver).  The cache key embeds
+        ``budget`` and ``certify``, so results obtained under escalated
+        (or starved) budgets never answer for the default one, and an
+        uncertified verdict never answers for a certified request.
         """
         if budget is None:
             budget = self.config.solver_budget
@@ -832,22 +839,29 @@ class PolicyPipeline:
             check_conditional=self.config.check_conditional,
             certify=certify,
         )
+
+        def run_solver() -> VerificationResult:
+            return verify_encoded(
+                encoded,
+                budget=budget,
+                via_smtlib=self.config.use_smtlib_roundtrip,
+                check_conditional=self.config.check_conditional,
+                script_text=script_text,
+                certification=self.config.certification if certify else None,
+                quarantine_dir=self.config.certification_quarantine_dir
+                if certify
+                else None,
+            )
+
         if caches is not None:
-            hit = caches.get("verification", key)
-            if hit is not MISS:
+            verification, computed = caches.get_or_compute(
+                "verification", key, run_solver
+            )
+            if not computed:
                 metrics.verification_hits += 1
-                return hit
-        verification = verify_encoded(
-            encoded,
-            budget=budget,
-            via_smtlib=self.config.use_smtlib_roundtrip,
-            check_conditional=self.config.check_conditional,
-            script_text=script_text,
-            certification=self.config.certification if certify else None,
-            quarantine_dir=self.config.certification_quarantine_dir
-            if certify
-            else None,
-        )
+                return verification
+        else:
+            verification = run_solver()
         metrics.verification_misses += 1
         stats = verification.solver_result.statistics
         metrics.solver_conflicts += stats.conflicts
@@ -858,8 +872,6 @@ class PolicyPipeline:
                 metrics.certification_failures += 1
                 if verification.quarantined_to is not None:
                     metrics.certification_quarantines += 1
-        if caches is not None:
-            caches.put("verification", key, verification)
         return verification
 
     def query_batch(

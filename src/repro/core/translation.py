@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.caches import MISS, ModelCaches
+from repro.core.caches import ModelCaches
 from repro.core.metrics import PipelineMetrics
 from repro.embeddings.search import DEFAULT_TOP_K, top_k
 from repro.embeddings.store import EmbeddingStore
@@ -130,15 +130,8 @@ def translate_query_terms(
         key = translation_cache_key(
             term, k=k, min_similarity=min_similarity, revision=revision
         )
-        result: TranslationResult | None = None
-        if cache is not None:
-            hit = cache.get("translation", key)
-            if hit is not MISS:
-                if metrics is not None:
-                    metrics.translation_hits += 1
-                result = hit
-        if result is None:
-            result = translate_term(
+        def run_translate(term: str = term) -> TranslationResult:
+            return translate_term(
                 runner,
                 store,
                 term,
@@ -146,10 +139,20 @@ def translate_query_terms(
                 k=k,
                 min_similarity=min_similarity,
             )
+
+        if cache is not None:
+            result, computed = cache.get_or_compute(
+                "translation", key, run_translate
+            )
+            if metrics is not None:
+                if computed:
+                    metrics.translation_misses += 1
+                else:
+                    metrics.translation_hits += 1
+        else:
+            result = run_translate()
             if metrics is not None:
                 metrics.translation_misses += 1
-            if cache is not None:
-                cache.put("translation", key, result)
         if result.fell_back and metrics is not None:
             metrics.translation_fallbacks += 1
         if result.untranslatable:

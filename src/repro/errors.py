@@ -104,6 +104,10 @@ class RegistryError(ReproError):
     """The multi-policy registry index is invalid or was misused."""
 
 
+class ServerError(ReproError):
+    """The serving daemon failed to bind, become ready, or was misused."""
+
+
 class SnapshotError(ReproError):
     """Base class for model-store persistence failures."""
 

@@ -161,8 +161,15 @@ class AdmissionQueue:
 
     ``pending`` counts queries admitted but not yet *completed* (queued
     plus in-flight), so the bound limits live memory, not just queue
-    length.  Blocking admits poll with a short timeout so the feeding
-    (main) thread stays responsive to drain requests and signals.
+    length.  Blocked admits sleep on the condition variable until queue
+    activity — or an explicit :meth:`wake` — lets them re-check; a stop
+    flag flipped by :meth:`~JobRunner.request_drain` is therefore
+    observed immediately, not on the next poll tick.
+
+    The condition is backed by an ``RLock`` so :meth:`wake` is safe even
+    from a signal handler that interrupts the owning (main) thread while
+    it holds the lock inside :meth:`admit`: the re-entrant acquire
+    succeeds where a plain lock would deadlock against itself.
     """
 
     def __init__(self, max_pending: int, *, shed_above: int | None = None) -> None:
@@ -173,7 +180,7 @@ class AdmissionQueue:
             )
         self.max_pending = max_pending
         self.shed_above = shed_above
-        self._cv = threading.Condition()
+        self._cv = threading.Condition(threading.RLock())
         self._items: deque = deque()
         self._pending = 0
         self._closed = False
@@ -184,7 +191,7 @@ class AdmissionQueue:
         with self._cv:
             return self._pending
 
-    def admit(self, item, *, should_stop=None, poll: float = 0.05) -> bool:
+    def admit(self, item, *, should_stop=None, poll: float | None = None) -> bool:
         """Admit ``item``, or return False (shed / stopped / closed).
 
         With ``shed_above`` set (constructor-validated to be at most
@@ -193,6 +200,11 @@ class AdmissionQueue:
         admission only ever blocks (backpressure) — until depth drops
         below ``max_pending`` or ``should_stop()`` turns true — and
         never sheds.
+
+        ``poll`` is a compatibility fallback: callers that flip a stop
+        flag without calling :meth:`wake` can pass a timeout so the flag
+        is still observed within one poll period.  ``None`` (the
+        default) waits purely on condition-variable wakeups.
         """
         with self._cv:
             while True:
@@ -209,6 +221,14 @@ class AdmissionQueue:
                     self._cv.notify_all()
                     return True
                 self._cv.wait(poll)
+
+    def wake(self) -> None:
+        """Nudge every blocked ``admit``/``get`` to re-check its exit
+        conditions (stop flags, closure).  Notify-only, so it is safe
+        from signal handlers and from threads that hold no other locks.
+        """
+        with self._cv:
+            self._cv.notify_all()
 
     def get(self):
         """Next item, or ``None`` once the queue is closed and empty."""
@@ -466,10 +486,16 @@ class JobRunner:
     def request_drain(self) -> None:
         """Ask the job to stop admitting work and finish in-flight queries.
 
-        Safe to call from any thread *and* from a signal handler: it only
-        flips a flag; the run loop applies the drain in normal context.
+        Safe to call from any thread *and* from a signal handler: it
+        flips a flag and nudges the admission queue's condition variable
+        (notify-only on an RLock, so interrupting the feeding thread
+        mid-``admit`` cannot self-deadlock); the run loop applies the
+        drain in normal context.
         """
         self._drain_flag = True
+        queue = self._queue
+        if queue is not None:
+            queue.wake()
 
     # ------------------------------------------------------------------
     # Execution
@@ -697,6 +723,10 @@ class JobRunner:
                 self._fatal = exc
             hb.finish()
         self._done.set()
+        # A feeder blocked in admit() checks the fatal flag on wakeup.
+        queue = self._queue
+        if queue is not None:
+            queue.wake()
 
     def _commit(self, index, question, outcome, kind) -> None:
         # Caller holds self._lock; commit and journal append are atomic

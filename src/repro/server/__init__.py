@@ -1,0 +1,30 @@
+"""Resident serving daemon: warm fleet queries with graceful drain,
+hot snapshot reload, and overload shedding.
+
+The long-lived layer the ROADMAP's serving item calls for: a threaded
+stdlib HTTP daemon (:class:`PolicyServer`) holding warm
+:class:`~repro.core.pipeline.PolicyModel`\\ s via the PR 6
+:class:`~repro.registry.PolicyRegistry`, with bounded admission
+(:class:`AdmissionGate`), per-request deadlines that only tighten the
+solver budget, epoch-swapped hot reload (:class:`EpochSwitch`), and a
+drain path that finishes in-flight work before exiting
+(:class:`DrainReport`).  See DESIGN §11.
+"""
+
+from repro.server.admission import AdmissionGate, ShedDecision
+from repro.server.client import ServingClient
+from repro.server.config import ServerConfig
+from repro.server.daemon import DrainReport, PolicyServer
+from repro.server.epochs import Epoch, EpochSwitch, ReloadReport
+
+__all__ = [
+    "AdmissionGate",
+    "DrainReport",
+    "Epoch",
+    "EpochSwitch",
+    "PolicyServer",
+    "ReloadReport",
+    "ServerConfig",
+    "ServingClient",
+    "ShedDecision",
+]

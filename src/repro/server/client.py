@@ -1,0 +1,126 @@
+"""A minimal stdlib HTTP client for the serving daemon.
+
+Used by the chaos suites, the serving benchmark, and scripts; it speaks
+exactly the JSON protocol :mod:`repro.server.daemon` serves.  One
+:class:`ServingClient` holds one keep-alive connection (HTTP/1.1), so a
+latency benchmark measures the daemon, not TCP handshakes; connections
+are re-established transparently after a drop.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+
+class ServingClient:
+    """Tiny JSON-over-HTTP client; not thread-safe (one per thread)."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        """One round-trip; returns ``(status, parsed JSON body)``.
+
+        Retries exactly once on a dropped keep-alive connection (the
+        server may have closed it between requests); connection errors on
+        the fresh connection propagate to the caller.
+        """
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {} if payload is None else {"Content-Type": "application/json"}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            parsed = json.loads(raw.decode("utf-8")) if raw else {}
+        except json.JSONDecodeError:
+            parsed = {"raw": raw.decode("utf-8", "replace")}
+        return response.status, parsed
+
+    # ------------------------------------------------------------------
+    # Endpoint wrappers
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> tuple[int, dict]:
+        return self.request("GET", "/healthz")
+
+    def readyz(self) -> tuple[int, dict]:
+        return self.request("GET", "/readyz")
+
+    def stats(self) -> dict:
+        status, body = self.request("GET", "/stats")
+        if status != 200:
+            raise RuntimeError(f"/stats returned {status}: {body}")
+        return body
+
+    def companies(self) -> list[str]:
+        status, body = self.request("GET", "/companies")
+        if status != 200:
+            raise RuntimeError(f"/companies returned {status}: {body}")
+        return list(body["companies"])
+
+    def query(
+        self,
+        company: str,
+        question: str,
+        *,
+        deadline_seconds: float | None = None,
+        trace: bool = False,
+        certify: bool | None = None,
+    ) -> tuple[int, dict]:
+        body: dict[str, object] = {"company": company, "question": question}
+        if deadline_seconds is not None:
+            body["deadline_seconds"] = deadline_seconds
+        if trace:
+            body["trace"] = True
+        if certify is not None:
+            body["certify"] = certify
+        return self.request("POST", "/query", body)
+
+    def fleet(
+        self,
+        question: str,
+        companies: list[str] | None = None,
+        *,
+        max_workers: int | None = None,
+        deadline_seconds: float | None = None,
+    ) -> tuple[int, dict]:
+        body: dict[str, object] = {"question": question}
+        if companies is not None:
+            body["companies"] = companies
+        if max_workers is not None:
+            body["max_workers"] = max_workers
+        if deadline_seconds is not None:
+            body["deadline_seconds"] = deadline_seconds
+        return self.request("POST", "/fleet", body)
+
+    def reload(self) -> tuple[int, dict]:
+        return self.request("POST", "/reload")
+
+    def drain(self) -> tuple[int, dict]:
+        return self.request("POST", "/drain")

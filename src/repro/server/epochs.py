@@ -1,0 +1,135 @@
+"""Epoch-swapped registry handles: hot reload without dropping requests.
+
+``/reload`` must atomically switch the daemon to a freshly-read registry
+(new manifest, new revisions, cold warm-cache) while queries admitted
+against the *old* registry keep running against it — swapping the object
+out from under them would invalidate the warm models they already hold.
+
+:class:`EpochSwitch` makes the swap a reference-counted handoff:
+
+* every request does ``with epochs.acquire() as epoch:`` — the epoch it
+  gets is **pinned** (refcounted) for the duration of the request;
+* :meth:`reload` builds the replacement registry *before* taking the
+  lock (slow disk reads never block in-flight acquires), then swaps the
+  current pointer — an O(1) critical section;
+* a superseded epoch retires only when its last pinned request releases
+  it; until then it lives in the ``retiring`` list, visible to
+  ``/stats`` as evidence the swap is draining.
+
+New acquires always see the newest epoch, so a query arriving one
+instant after the swap observes the reloaded revision while its
+neighbour admitted one instant before finishes against the old one —
+zero dropped or mixed requests either way.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Iterator, TypeVar
+
+R = TypeVar("R")
+
+
+@dataclass(eq=False)
+class Epoch(Generic[R]):
+    """One immutable registry generation plus its pin count."""
+
+    number: int
+    registry: R
+    refs: int = 0
+    retired: bool = field(default=False)  # superseded AND fully released
+
+
+@dataclass(slots=True)
+class ReloadReport:
+    """What one :meth:`EpochSwitch.reload` did."""
+
+    old_epoch: int
+    new_epoch: int
+    pinned: int  # requests still running against the old epoch at swap
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "old_epoch": self.old_epoch,
+            "new_epoch": self.new_epoch,
+            "pinned": self.pinned,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+class EpochSwitch(Generic[R]):
+    """Reference-counted current-epoch pointer (see module doc)."""
+
+    def __init__(self, factory: Callable[[], R]) -> None:
+        self._factory = factory
+        self._cv = threading.Condition()
+        self._current: Epoch[R] = Epoch(number=0, registry=factory())
+        self._retiring: list[Epoch[R]] = []
+        self.reloads = 0
+
+    @property
+    def current_epoch(self) -> int:
+        with self._cv:
+            return self._current.number
+
+    @property
+    def current_registry(self) -> R:
+        """Unpinned peek for introspection (``/stats``); request paths
+        must use :meth:`acquire` instead."""
+        with self._cv:
+            return self._current.registry
+
+    def retiring(self) -> list[tuple[int, int]]:
+        """Superseded-but-still-pinned epochs as (number, refs)."""
+        with self._cv:
+            return [(e.number, e.refs) for e in self._retiring]
+
+    @contextmanager
+    def acquire(self) -> Iterator[Epoch[R]]:
+        """Pin the newest epoch for the duration of the ``with`` body."""
+        with self._cv:
+            epoch = self._current
+            epoch.refs += 1
+        try:
+            yield epoch
+        finally:
+            with self._cv:
+                epoch.refs -= 1
+                if epoch.refs == 0 and epoch in self._retiring:
+                    self._retiring.remove(epoch)
+                    epoch.retired = True
+                    self._cv.notify_all()
+
+    def reload(self, factory: Callable[[], R] | None = None) -> ReloadReport:
+        """Swap in a fresh registry; in-flight pins keep the old one alive.
+
+        The replacement is constructed *outside* the lock — a reload that
+        takes seconds to re-read a large manifest never blocks admission
+        or queries.  Concurrent reloads are each applied in full (last
+        writer's registry wins the pointer; every superseded epoch drains
+        via the retiring list).
+        """
+        replacement = (factory or self._factory)()
+        with self._cv:
+            old = self._current
+            self._current = Epoch(number=old.number + 1, registry=replacement)
+            self.reloads += 1
+            if old.refs > 0:
+                self._retiring.append(old)
+                pinned = old.refs
+            else:
+                old.retired = True
+                pinned = 0
+            return ReloadReport(
+                old_epoch=old.number,
+                new_epoch=self._current.number,
+                pinned=pinned,
+            )
+
+    def wait_quiesced(self, timeout: float | None = None) -> bool:
+        """Block until no superseded epoch is pinned (tests, drain)."""
+        with self._cv:
+            return self._cv.wait_for(lambda: not self._retiring, timeout)

@@ -17,6 +17,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.core.caches import ModelCaches
 from repro.embeddings.search import top_k
 from repro.embeddings.store import EmbeddingStore
 from repro.errors import ReproError
@@ -225,3 +226,109 @@ class TestEmbeddingStoreConcurrency:
         errors = _hammer(16, work)
         assert not errors
         assert len(store) == len(set(vocabulary))
+
+
+class TestModelCachesSingleFlight:
+    """``ModelCaches.get_or_compute``: one computation per distinct key,
+    no matter how the thread pool interleaves the callers."""
+
+    def _counting_compute(self, value="result", delay=0.0, fail_first=False):
+        state = {"calls": 0}
+        lock = threading.Lock()
+
+        def compute():
+            with lock:
+                state["calls"] += 1
+                call = state["calls"]
+            if delay:
+                time.sleep(delay)
+            if fail_first and call == 1:
+                raise ReproError("first computation dies")
+            return value
+
+        return compute, state
+
+    def test_concurrent_callers_compute_exactly_once(self):
+        caches = ModelCaches()
+        compute, state = self._counting_compute(value=object(), delay=0.05)
+        results = []
+        results_lock = threading.Lock()
+
+        def work(index: int) -> None:
+            value, computed = caches.get_or_compute("verification", "k", compute)
+            with results_lock:
+                results.append((value, computed))
+
+        errors = _hammer(16, work)
+        assert not errors
+        # The whole stampede paid for one solve; everyone shares the object.
+        assert state["calls"] == 1
+        assert len({id(value) for value, _ in results}) == 1
+        assert sum(1 for _, computed in results if computed) == 1
+        assert caches.misses["verification"] == 1
+        assert caches.hits["verification"] == 15
+
+    def test_distinct_keys_each_compute_once(self):
+        caches = ModelCaches()
+        keys = [f"problem-{i}" for i in range(8)]
+        calls: dict[str, int] = {key: 0 for key in keys}
+        calls_lock = threading.Lock()
+
+        def work(index: int) -> None:
+            for offset in range(len(keys)):
+                key = keys[(offset + index) % len(keys)]
+
+                def compute(key: str = key):
+                    with calls_lock:
+                        calls[key] += 1
+                    return key.upper()
+
+                value, _ = caches.get_or_compute("translation", key, compute)
+                assert value == key.upper()
+
+        errors = _hammer(16, work)
+        assert not errors
+        assert calls == {key: 1 for key in keys}
+        assert caches.misses["translation"] == len(keys)
+        assert caches.hits["translation"] == 16 * len(keys) - len(keys)
+
+    def test_leader_failure_wakes_followers_to_retry(self):
+        caches = ModelCaches()
+        compute, state = self._counting_compute(
+            value="rescued", delay=0.05, fail_first=True
+        )
+
+        def work(index: int) -> None:
+            value, _ = caches.get_or_compute("verification", "k", compute)
+            assert value == "rescued"
+
+        errors = _hammer(8, work)
+        # Exactly one caller inherited the failure; a parked follower was
+        # woken, re-elected, and computed the value for everyone else.
+        assert len(errors) == 1
+        assert isinstance(errors[0], ReproError)
+        assert state["calls"] == 2
+        assert caches.get("verification", "k") == "rescued"
+
+    def test_failed_computation_caches_nothing(self):
+        caches = ModelCaches()
+
+        def compute():
+            raise ReproError("boom")
+
+        with pytest.raises(ReproError):
+            caches.get_or_compute("subgraph", "k", compute)
+        assert caches.misses["subgraph"] == 0
+        assert caches.size("subgraph") == 0
+        # The flight was cleared: a later caller computes fresh.
+        value, computed = caches.get_or_compute("subgraph", "k", lambda: 7)
+        assert (value, computed) == (7, True)
+
+    def test_kinds_are_independent_namespaces(self):
+        caches = ModelCaches()
+        for kind in ModelCaches.KINDS:
+            value, computed = caches.get_or_compute(kind, "same-key", lambda: kind)
+            assert (value, computed) == (kind, True)
+        for kind in ModelCaches.KINDS:
+            value, computed = caches.get_or_compute(kind, "same-key", lambda: "no")
+            assert (value, computed) == (kind, False)

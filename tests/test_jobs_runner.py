@@ -104,6 +104,47 @@ class TestAdmissionQueue:
         thread.join(timeout=5.0)
         assert results == [False]
 
+    def test_blocked_admit_wakes_on_task_done_without_polling(self):
+        # PR 7: no poll period at all — the default admit sleeps purely on
+        # the condition variable, so queue activity must wake it directly.
+        q = AdmissionQueue(max_pending=1)
+        assert q.admit("a")
+        admitted = []
+
+        def feeder():
+            admitted.append(q.admit("b"))
+
+        thread = threading.Thread(target=feeder)
+        thread.start()
+        time.sleep(0.05)
+        assert not admitted
+        assert q.get() == "a"
+        started = time.monotonic()
+        q.task_done()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert time.monotonic() - started < 1.0, "wakeup must not wait a poll tick"
+        assert admitted == [True]
+
+    def test_wake_makes_stop_flag_observed_immediately(self):
+        q = AdmissionQueue(max_pending=1)
+        assert q.admit("a")
+        stop = threading.Event()
+        results = []
+
+        def feeder():
+            results.append(q.admit("b", should_stop=stop.is_set))
+
+        thread = threading.Thread(target=feeder)
+        thread.start()
+        time.sleep(0.05)
+        assert thread.is_alive(), "feeder should be parked on the cv"
+        stop.set()
+        q.wake()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive(), "wake() must rouse the blocked admit"
+        assert results == [False]
+
     def test_shed_above_must_not_exceed_max_pending(self):
         # A threshold past the blocking bound would create a depth band
         # [max_pending, shed_above) that blocks instead of shedding,

@@ -21,6 +21,7 @@ _PACKAGES = [
     "repro.analysis",
     "repro.store",
     "repro.registry",
+    "repro.server",
 ]
 
 
