@@ -100,6 +100,21 @@ class JobError(ReproError):
     """A supervised batch job was misconfigured or cannot resume."""
 
 
+class ExecutionError(ReproError):
+    """The process-pool execution backend was misconfigured or misused."""
+
+
+class QueryCancelledError(ExecutionError):
+    """A solver work unit was cancelled mid-flight and its worker killed.
+
+    Raised by the process backend when a caller-supplied cancel event
+    fires (the job watchdog's stall replacement, portfolio loser
+    cancellation).  Never cached: the single-flight verification cache
+    propagates it without storing a result, so a cancelled solve cannot
+    poison later queries for the same formula.
+    """
+
+
 class RegistryError(ReproError):
     """The multi-policy registry index is invalid or was misused."""
 

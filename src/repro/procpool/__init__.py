@@ -1,0 +1,34 @@
+"""Supervised process-pool execution backend for the solver hot path.
+
+Solving is pure-Python and CPU-bound, so the thread-pool batch engine
+serializes on the worst queries and a wedged solve can only be abandoned,
+never preempted.  This package provides the repo's first true GIL escape:
+solver work units (SMT-LIB text in, :class:`~repro.solver.result.SolverResult`
+out — the existing printer/parser round trip is the wire format) execute in
+worker *processes* that a :class:`WorkerSupervisor` can hard-kill on
+deadline expiry, heartbeat stall, or RSS overrun, replace after a crash,
+and retry exactly once before surfacing a structured
+:class:`WorkerCrashReport` as UNKNOWN.
+
+Portfolio mode races the same unit under different VSIDS decision seeds
+(see :func:`repro.solver.sat.seeded_phase`); the first decisive *certified*
+answer — lowest seed wins, for determinism — cancels the losers by kill,
+rescuing verdicts that exhaust their budget single-process.
+
+Select it with ``PipelineConfig(execution_backend="process")``; the
+default thread backend is untouched and traces stay byte-identical across
+backends.
+"""
+
+from repro.procpool.config import PortfolioConfig, ProcPoolConfig
+from repro.procpool.supervisor import WorkerSupervisor
+from repro.procpool.unit import UnitOutcome, WorkerCrashReport, WorkUnit
+
+__all__ = [
+    "PortfolioConfig",
+    "ProcPoolConfig",
+    "UnitOutcome",
+    "WorkUnit",
+    "WorkerCrashReport",
+    "WorkerSupervisor",
+]

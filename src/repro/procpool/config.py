@@ -1,0 +1,91 @@
+"""Tunables for the process-pool execution backend."""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform offers it (cheap startup), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+@dataclass(frozen=True, slots=True)
+class ProcPoolConfig:
+    """Supervision settings for one :class:`~repro.procpool.WorkerSupervisor`.
+
+    ``workers`` bounds how many worker processes run units concurrently
+    (idle workers are kept warm and reused; a killed worker is never
+    reused).  ``stall_after`` is the heartbeat-silence threshold beyond
+    which a worker is presumed wedged and hard-killed; ``kill_grace`` is
+    how far past the unit's own solver deadline the supervisor waits for
+    the worker's cooperative timeout before killing it.  ``max_rss_mb``
+    arms the per-worker resident-memory ceiling (``None`` disables it;
+    enforcement needs ``/proc`` and degrades to disabled elsewhere).
+    """
+
+    workers: int = 4
+    start_method: str | None = None  # None = fork if available, else spawn
+    heartbeat_interval: float = 0.05
+    stall_after: float = 2.0
+    kill_grace: float = 5.0
+    max_rss_mb: float | None = None
+    poll_interval: float = 0.01
+    retry_crashes: bool = True  # retry a crashed unit once on a fresh worker
+    shutdown_grace: float = 2.0  # per-worker wait for a clean exit at drain
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ExecutionError(f"workers must be >= 1, got {self.workers}")
+        if self.start_method is not None:
+            allowed = multiprocessing.get_all_start_methods()
+            if self.start_method not in allowed:
+                raise ExecutionError(
+                    f"start_method {self.start_method!r} not available "
+                    f"(choose from {allowed})"
+                )
+        for name in ("heartbeat_interval", "stall_after", "kill_grace",
+                     "poll_interval", "shutdown_grace"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ExecutionError(f"{name} must be > 0, got {value}")
+        if self.stall_after <= self.heartbeat_interval:
+            raise ExecutionError(
+                "stall_after must exceed heartbeat_interval, got "
+                f"{self.stall_after} <= {self.heartbeat_interval}"
+            )
+        if self.max_rss_mb is not None and self.max_rss_mb <= 0:
+            raise ExecutionError(
+                f"max_rss_mb must be > 0 or None, got {self.max_rss_mb}"
+            )
+
+    def resolved_start_method(self) -> str:
+        return self.start_method or default_start_method()
+
+
+@dataclass(frozen=True, slots=True)
+class PortfolioConfig:
+    """VSIDS-seed portfolio rescue for budget-limited UNKNOWNs.
+
+    After the canonical seed-0 attempt comes back UNKNOWN for budget
+    reasons, the same unit is raced under every seed in ``seeds``; the
+    decisive certified answer with the *lowest* seed wins (determinism),
+    and workers still running higher seeds are cancelled by kill.  Seed 0
+    is reserved for the primary attempt and may not appear here.
+    """
+
+    seeds: tuple[int, ...] = (1, 2, 3)
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise ExecutionError("portfolio needs at least one seed")
+        if 0 in self.seeds:
+            raise ExecutionError(
+                "seed 0 is the primary attempt; portfolio seeds must be nonzero"
+            )
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ExecutionError(f"duplicate portfolio seeds: {self.seeds}")

@@ -1,0 +1,75 @@
+"""Deterministic crash seams for the worker kill matrix.
+
+Test infrastructure, not production code — the process-pool counterpart
+of :mod:`repro.solver.faults`.  A test sets :attr:`WorkUnit.fault` to one
+of the names below; the worker child calls :func:`trigger` at two fixed
+points (``pre-solve`` before executing the script, ``post-solve`` after
+computing the result payload but before sending it) and the named fault
+fires *in the worker process*, reproducing exactly one failure mode the
+supervisor must contain:
+
+==================  ====================================================
+``sigkill``         SIGKILLs itself mid-solve (pre-solve) — the hard
+                    external-kill case: no exit handler, no final send.
+``die-pre-result``  exits nonzero after solving, before sending — the
+                    result is computed but never arrives.
+``truncated-ipc``   writes a valid length header followed by garbage
+                    bytes, then exits — the parent's ``recv`` sees an
+                    unpicklable payload.
+``stall``           silences the heartbeat thread and sleeps forever —
+                    the watchdog path: alive but wedged.
+``delay-result``    sleeps briefly post-solve, then sends normally —
+                    the result-after-kill race when combined with a
+                    cancel event on the parent side.
+==================  ====================================================
+
+Every fault is deterministic (no randomness, no clocks beyond plain
+sleeps), so a caught kill-matrix failure reproduces.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import struct
+import time
+
+FAULTS = ("sigkill", "die-pre-result", "truncated-ipc", "stall", "delay-result")
+
+#: Exit code used by ``die-pre-result`` so tests can assert the crash
+#: report saw the real status, not a generic failure.
+DIE_EXIT_CODE = 17
+
+#: How long ``delay-result`` holds the computed result before sending.
+RESULT_DELAY_SECONDS = 0.3
+
+
+def trigger(fault: str | None, point: str, *, conn, hb_stop) -> None:
+    """Fire ``fault`` if it is armed for ``point`` (worker-side only)."""
+    if fault is None:
+        return
+    if fault not in FAULTS:
+        raise ValueError(f"unknown procpool fault {fault!r}")
+    if point == "pre-solve":
+        if fault == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif fault == "stall":
+            # Stop beating but stay alive: the supervisor must conclude
+            # "wedged" from silence alone and hard-kill us.
+            hb_stop.set()
+            time.sleep(3600)
+    elif point == "post-solve":
+        if fault == "die-pre-result":
+            os._exit(DIE_EXIT_CODE)
+        elif fault == "truncated-ipc":
+            # A well-formed length prefix with a garbage body: the parent
+            # reads the full "message" and chokes unpickling it.  The
+            # heartbeat thread is silenced first so the garbage cannot be
+            # interleaved with a valid beat.
+            hb_stop.set()
+            time.sleep(0.05)
+            body = b"not-a-pickle"
+            os.write(conn.fileno(), struct.pack("!i", len(body)) + body)
+            os._exit(0)
+        elif fault == "delay-result":
+            time.sleep(RESULT_DELAY_SECONDS)

@@ -1,0 +1,555 @@
+"""Worker supervision: hard deadlines, crash containment, portfolio racing.
+
+The :class:`WorkerSupervisor` owns a bounded pool of solver worker
+processes (warm-reused between units; a killed worker is never reused)
+and runs one :class:`~repro.procpool.unit.WorkUnit` at a time per worker
+under four watchers, re-using the PR 5 supervision seams
+(:class:`~repro.jobs.watchdog.Clock`, :class:`~repro.jobs.watchdog.Watchdog`,
+:class:`~repro.jobs.watchdog.WorkerHeartbeat`) against *pipe* heartbeats
+instead of thread heartbeats:
+
+* **hard deadline** — ``budget.timeout_seconds + kill_grace`` after
+  submission the worker is SIGKILLed.  The solver's own cooperative
+  deadline normally answers first; the hard kill only fires for a solve
+  wedged past its checks, and surfaces as a timeout UNKNOWN (no retry —
+  the unit deterministically exhausts wall clock).
+* **heartbeat stall** — ``stall_after`` seconds of pipe silence means the
+  worker is alive but wedged (the watchdog scan makes the call); it is
+  killed, replaced, and the unit retried once.
+* **RSS ceiling** — a worker whose resident set exceeds ``max_rss_mb``
+  is killed; no retry (the unit deterministically re-exceeds it).
+* **crash** — process exit without a result (nonzero exit, SIGKILL,
+  EOF) or an unpicklable/truncated result payload; the worker is
+  replaced and the unit retried exactly once before a structured
+  :class:`~repro.procpool.unit.WorkerCrashReport` surfaces as UNKNOWN.
+
+Portfolio mode (:meth:`WorkerSupervisor.run_rescued`) races the unit
+under different VSIDS decision seeds after a budget-limited primary
+attempt; the decisive certified answer with the lowest seed wins and
+losers are cancelled by kill.  Waiting in seed order makes the winning
+*value* deterministic even though finish order is not.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from dataclasses import dataclass, replace
+
+from repro.errors import ExecutionError
+from repro.jobs.watchdog import Clock, MonotonicClock, Watchdog, WorkerHeartbeat
+from repro.procpool.config import PortfolioConfig, ProcPoolConfig
+from repro.procpool.unit import UnitOutcome, WorkerCrashReport, WorkUnit
+from repro.procpool.worker import SolverWorker
+from repro.solver.interface import CertificationConfig
+from repro.solver.result import SatResult
+
+#: UNKNOWN reasons that mark a *resource* failure (mirrors the private
+#: marker list in repro.resilience.degradation) — the rescuable cases.
+BUDGET_MARKERS = ("budget exhausted", "timeout")
+
+#: Crash kinds that earn the one replacement-worker retry.  Deadline and
+#: RSS kills are excluded: the same unit would deterministically exhaust
+#: the same ceiling again.
+_RETRYABLE_KINDS = frozenset({"exit", "ipc", "stall"})
+
+
+@dataclass(slots=True)
+class _Attempt:
+    """What one worker attempt produced (internal to the supervisor)."""
+
+    tag: str  # "ok" | "err" | "crash" | "deadline" | "rss" | "cancelled"
+    results: list | None = None
+    error: tuple | None = None
+    crash: WorkerCrashReport | None = None
+    killed: int = 0
+    detail: str = ""
+
+
+class WorkerSupervisor:
+    """Bounded pool of supervised solver worker processes.
+
+    Thread-safe: many batch worker threads call :meth:`run_unit`
+    concurrently; ``config.workers`` slots bound how many units run at
+    once (excess callers queue on the slot semaphore).  ``clock`` is the
+    injectable time seam shared with the job watchdog.
+    """
+
+    def __init__(
+        self,
+        config: ProcPoolConfig | None = None,
+        *,
+        clock: Clock | None = None,
+    ) -> None:
+        self.config = config or ProcPoolConfig()
+        self.clock: Clock = clock if clock is not None else MonotonicClock()
+        self._ctx = multiprocessing.get_context(self.config.resolved_start_method())
+        self._watchdog = Watchdog(
+            stall_after=self.config.stall_after, clock=self.clock
+        )
+        self._lock = threading.Lock()
+        self._slots = threading.BoundedSemaphore(self.config.workers)
+        self._idle: list[SolverWorker] = []
+        self._live: set[SolverWorker] = set()
+        self._seq = 0
+        self._closed = False
+        # Pool-lifetime counters (read under _lock via stats()).
+        self.units_run = 0
+        self.units_retried = 0
+        self.units_rescued = 0
+        self.worker_crashes = 0
+        self.workers_spawned = 0
+        self.workers_killed = 0
+        self.stall_kills = 0
+        self.deadline_kills = 0
+        self.rss_kills = 0
+        self.cancelled_units = 0
+        self.portfolio_races = 0
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _checkout(self) -> SolverWorker:
+        with self._lock:
+            if self._closed:
+                raise ExecutionError("supervisor is shut down")
+            while self._idle:
+                worker = self._idle.pop()
+                if worker.alive:
+                    return worker
+                # Died while idle (OOM killer, operator kill): reap quietly.
+                worker.kill()
+                self._live.discard(worker)
+            self._seq += 1
+            worker = SolverWorker(
+                self._ctx, self._seq, self.config.heartbeat_interval
+            )
+            self._live.add(worker)
+            self.workers_spawned += 1
+            return worker
+
+    def _release(self, worker: SolverWorker) -> None:
+        with self._lock:
+            if self._closed:
+                pass  # fall through to shut it down below
+            elif worker.alive:
+                self._idle.append(worker)
+                return
+        worker.shutdown(self.config.shutdown_grace)
+        with self._lock:
+            self._live.discard(worker)
+
+    def _kill(self, worker: SolverWorker) -> None:
+        worker.kill()
+        with self._lock:
+            self._live.discard(worker)
+            self.workers_killed += 1
+
+    # ------------------------------------------------------------------
+    # Unit execution
+    # ------------------------------------------------------------------
+
+    def run_unit(
+        self, unit: WorkUnit, *, cancel: threading.Event | None = None
+    ) -> UnitOutcome:
+        """Run ``unit`` on a worker; kill/replace/retry per the contract.
+
+        Blocks until the unit resolves (or a slot frees up first if the
+        pool is saturated).  ``cancel`` is checked every poll tick; when
+        it fires the worker is hard-killed and the outcome comes back
+        ``cancelled`` — callers raise instead of caching.
+        """
+        with self._slots:
+            with self._lock:
+                self.units_run += 1
+            outcome = UnitOutcome()
+            attempt = self._attempt(unit, cancel)
+            outcome.kills += attempt.killed
+            if (
+                attempt.tag == "crash"
+                and self.config.retry_crashes
+                and attempt.crash is not None
+                and attempt.crash.kind in _RETRYABLE_KINDS
+            ):
+                attempt.crash.retried = True
+                outcome.crashes.append(attempt.crash)
+                outcome.retried = True
+                outcome.attempts = 2
+                with self._lock:
+                    self.units_retried += 1
+                attempt = self._attempt(unit, cancel)
+                outcome.kills += attempt.killed
+            return self._finish(unit, outcome, attempt)
+
+    def _finish(
+        self, unit: WorkUnit, outcome: UnitOutcome, attempt: _Attempt
+    ) -> UnitOutcome:
+        from repro.solver.result import SolverResult, SolverStatistics
+
+        if attempt.tag == "ok":
+            outcome.results = attempt.results
+        elif attempt.tag == "err":
+            outcome.error = attempt.error
+        elif attempt.tag == "cancelled":
+            outcome.cancelled = True
+            with self._lock:
+                self.cancelled_units += 1
+        elif attempt.tag == "deadline":
+            # Synthesized timeout UNKNOWN: the cooperative deadline never
+            # fired, so the supervisor's hard kill speaks in its place.
+            with self._lock:
+                self.deadline_kills += 1
+            outcome.results = [
+                SolverResult(
+                    status=SatResult.UNKNOWN,
+                    reason=f"wall-clock timeout ({attempt.detail})",
+                    statistics=SolverStatistics(),
+                )
+            ]
+        else:  # "crash" (unretried or retry also crashed) and "rss"
+            crash = attempt.crash
+            if crash is not None:
+                crash.retried = outcome.retried
+                outcome.crashes.append(crash)
+            outcome.crash = crash
+            with self._lock:
+                self.worker_crashes += 1
+                if crash is not None and crash.kind == "rss":
+                    self.rss_kills += 1
+        return outcome
+
+    def _attempt(
+        self, unit: WorkUnit, cancel: threading.Event | None
+    ) -> _Attempt:
+        worker = self._checkout()
+        try:
+            worker.submit(unit)
+        except ExecutionError as exc:
+            self._kill(worker)
+            return _Attempt(
+                tag="crash",
+                killed=1,
+                crash=self._crash(unit, worker, "exit", f"submit failed: {exc}"),
+            )
+        deadline = None
+        budget = unit.budget
+        if budget is not None and budget.timeout_seconds is not None:
+            deadline = (
+                self.clock.now() + budget.timeout_seconds + self.config.kill_grace
+            )
+        heartbeat = WorkerHeartbeat(worker.worker_id)
+        heartbeat.begin(0, unit.label or "solver-unit", self.clock.now())
+        rss_limit = (
+            None
+            if self.config.max_rss_mb is None
+            else int(self.config.max_rss_mb * 1024 * 1024)
+        )
+
+        while True:
+            if cancel is not None and cancel.is_set():
+                self._kill(worker)
+                return _Attempt(tag="cancelled", killed=1)
+            has_message = worker.poll(self.config.poll_interval)
+            now = self.clock.now()
+            if has_message:
+                try:
+                    message = worker.recv()
+                except (EOFError, OSError):
+                    detail = "worker died mid-unit (pipe closed)"
+                    exit_code = self._reap(worker)
+                    return _Attempt(
+                        tag="crash",
+                        killed=1,
+                        crash=self._crash(
+                            unit, worker, "exit", detail, exit_code=exit_code
+                        ),
+                    )
+                except Exception as exc:  # noqa: BLE001 - corrupt payload
+                    detail = (
+                        "unpicklable result payload: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    self._kill(worker)
+                    return _Attempt(
+                        tag="crash",
+                        killed=1,
+                        crash=self._crash(unit, worker, "ipc", detail),
+                    )
+                kind = message[0]
+                if kind == "hb":
+                    heartbeat.beat("solve", now)
+                    continue
+                if kind == "ok":
+                    self._release(worker)
+                    return _Attempt(tag="ok", results=message[1])
+                if kind == "err":
+                    self._release(worker)
+                    return _Attempt(tag="err", error=(message[1], message[2]))
+                self._kill(worker)
+                return _Attempt(
+                    tag="crash",
+                    killed=1,
+                    crash=self._crash(
+                        unit, worker, "ipc", f"unknown message kind {kind!r}"
+                    ),
+                )
+            if not worker.alive:
+                if worker.poll(0):
+                    continue  # final message beat the exit; classify above
+                exit_code = self._reap(worker)
+                return _Attempt(
+                    tag="crash",
+                    killed=1,
+                    crash=self._crash(
+                        unit,
+                        worker,
+                        "exit",
+                        "worker exited without sending a result",
+                        exit_code=exit_code,
+                    ),
+                )
+            if deadline is not None and now > deadline:
+                self._kill(worker)
+                return _Attempt(
+                    tag="deadline",
+                    killed=1,
+                    detail=(
+                        "worker hard-killed "
+                        f"{self.config.kill_grace:.1f}s past its deadline"
+                    ),
+                )
+            if self._watchdog.scan([heartbeat], now=now):
+                waited = now - heartbeat.last_beat
+                self._kill(worker)
+                with self._lock:
+                    self.stall_kills += 1
+                return _Attempt(
+                    tag="crash",
+                    killed=1,
+                    crash=self._crash(
+                        unit,
+                        worker,
+                        "stall",
+                        f"no heartbeat for {waited:.3f}s "
+                        f"(threshold {self.config.stall_after:.3f}s)",
+                    ),
+                )
+            if rss_limit is not None:
+                rss = worker.rss_bytes()
+                if rss is not None and rss > rss_limit:
+                    self._kill(worker)
+                    return _Attempt(
+                        tag="rss",
+                        killed=1,
+                        crash=self._crash(
+                            unit,
+                            worker,
+                            "rss",
+                            f"resident set {rss / 1048576:.1f} MiB exceeds "
+                            f"ceiling {self.config.max_rss_mb:.1f} MiB",
+                        ),
+                    )
+
+    def _reap(self, worker: SolverWorker) -> int | None:
+        """Join a worker that died on its own; returns its exit code."""
+        worker.process.join(timeout=5.0)
+        exit_code = worker.exit_code
+        self._kill(worker)  # closes the pipe, discards from the live set
+        return exit_code
+
+    def _crash(
+        self,
+        unit: WorkUnit,
+        worker: SolverWorker,
+        kind: str,
+        detail: str,
+        *,
+        exit_code: int | None = None,
+    ) -> WorkerCrashReport:
+        return WorkerCrashReport(
+            kind=kind,
+            detail=detail,
+            label=unit.label,
+            decision_seed=unit.decision_seed,
+            exit_code=exit_code if exit_code is not None else worker.exit_code,
+            worker_pid=worker.pid,
+        )
+
+    # ------------------------------------------------------------------
+    # Portfolio rescue
+    # ------------------------------------------------------------------
+
+    def run_rescued(
+        self,
+        unit: WorkUnit,
+        portfolio: PortfolioConfig | None = None,
+        *,
+        cancel: threading.Event | None = None,
+    ) -> UnitOutcome:
+        """Run ``unit``; race seed variants if the primary is budget-bound.
+
+        The primary attempt always runs at seed 0 (the canonical
+        trajectory, byte-identical to the thread backend).  Only a
+        budget-limited UNKNOWN triggers the race — decisive answers,
+        contradiction UNKNOWNs, and certification alarms all stand.
+        """
+        primary = self.run_unit(unit, cancel=cancel)
+        if portfolio is None or (cancel is not None and cancel.is_set()):
+            return primary
+        if not self._rescuable(primary):
+            return primary
+        with self._lock:
+            self.portfolio_races += 1
+        rescue = self._race(unit, portfolio, cancel)
+        if rescue is None:
+            return primary
+        rescue.attempts += primary.attempts
+        rescue.kills += primary.kills
+        rescue.crashes = primary.crashes + rescue.crashes
+        with self._lock:
+            self.units_rescued += 1
+        return rescue
+
+    @staticmethod
+    def _rescuable(outcome: UnitOutcome) -> bool:
+        if not outcome.ok or not outcome.results:
+            return False
+        last = outcome.results[-1]
+        if last.status is not SatResult.UNKNOWN:
+            return False
+        reason = last.reason or ""
+        if last.certificate is not None and last.certificate.failed:
+            return False  # soundness alarm: more search must not override it
+        return any(marker in reason for marker in BUDGET_MARKERS)
+
+    def _race(
+        self,
+        unit: WorkUnit,
+        portfolio: PortfolioConfig,
+        outer_cancel: threading.Event | None,
+    ) -> UnitOutcome | None:
+        """Race seed variants; lowest decisive certified seed wins.
+
+        Every variant runs with certification armed (rescued verdicts are
+        only trusted certified), under its own cancel event so losers die
+        the moment a lower seed decides.
+        """
+        seeds = portfolio.seeds
+        certification = unit.certification or CertificationConfig()
+        outcomes: list[UnitOutcome | None] = [None] * len(seeds)
+        cancels = [threading.Event() for _ in seeds]
+        threads: list[threading.Thread] = []
+
+        def attempt(index: int, seed: int) -> None:
+            variant = replace(
+                unit,
+                decision_seed=seed,
+                certification=certification,
+                label=f"{unit.label or 'solver-unit'}#seed{seed}",
+            )
+            try:
+                outcomes[index] = self.run_unit(variant, cancel=cancels[index])
+            except ExecutionError:
+                outcomes[index] = None  # pool shut down mid-race
+
+        for index, seed in enumerate(seeds):
+            thread = threading.Thread(
+                target=attempt,
+                args=(index, seed),
+                name=f"portfolio-seed-{seed}",
+                daemon=True,
+            )
+            threads.append(thread)
+            thread.start()
+
+        winner: UnitOutcome | None = None
+        winner_index = len(seeds)
+        for index, thread in enumerate(threads):
+            while thread.is_alive():
+                thread.join(timeout=self.config.poll_interval)
+                if outer_cancel is not None and outer_cancel.is_set():
+                    break
+            if outer_cancel is not None and outer_cancel.is_set():
+                break
+            outcome = outcomes[index]
+            if outcome is not None and self._decisive_certified(outcome):
+                winner, winner_index = outcome, index
+                break
+        # Cancel everything after the winner (or everything, on outer
+        # cancel); their kills free the CPUs immediately.
+        for index in range(len(seeds)):
+            if index != winner_index:
+                cancels[index].set()
+        for thread in threads:
+            thread.join()
+        if winner is not None:
+            winner.rescued_seed = seeds[winner_index]
+        return winner
+
+    @staticmethod
+    def _decisive_certified(outcome: UnitOutcome) -> bool:
+        if not outcome.ok or not outcome.results:
+            return False
+        last = outcome.results[-1]
+        if last.status not in (SatResult.SAT, SatResult.UNSAT):
+            return False
+        certificate = last.certificate
+        return certificate is not None and not certificate.failed
+
+    # ------------------------------------------------------------------
+    # Introspection & shutdown
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Pool gauges and counters (the daemon's ``/stats`` pool block)."""
+        with self._lock:
+            return {
+                "workers": self.config.workers,
+                "start_method": self.config.resolved_start_method(),
+                "workers_live": len(self._live),
+                "workers_idle": len(self._idle),
+                "workers_spawned": self.workers_spawned,
+                "workers_killed": self.workers_killed,
+                "units_run": self.units_run,
+                "units_retried": self.units_retried,
+                "units_rescued": self.units_rescued,
+                "worker_crashes": self.worker_crashes,
+                "stall_kills": self.stall_kills,
+                "deadline_kills": self.deadline_kills,
+                "rss_kills": self.rss_kills,
+                "cancelled_units": self.cancelled_units,
+                "portfolio_races": self.portfolio_races,
+            }
+
+    def live_pids(self) -> list[int]:
+        """PIDs of every worker process not yet reaped (orphan checks)."""
+        with self._lock:
+            return [w.pid for w in self._live if w.pid is not None and w.alive]
+
+    def shutdown(self) -> None:
+        """Reap every worker: idle ones exit cleanly, busy ones are killed.
+
+        Idempotent.  Callers should drain in-flight units first (the
+        serving daemon does); any unit still running when its worker dies
+        here resolves through the normal crash path.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            idle = list(self._idle)
+            self._idle.clear()
+            busy = [w for w in self._live if w not in idle]
+        for worker in idle:
+            worker.shutdown(self.config.shutdown_grace)
+        for worker in busy:
+            worker.kill()
+        with self._lock:
+            for worker in idle + busy:
+                self._live.discard(worker)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed

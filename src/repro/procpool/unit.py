@@ -1,0 +1,103 @@
+"""The picklable work unit and its outcome types.
+
+A :class:`WorkUnit` is everything a worker process needs to reproduce a
+solver check: the SMT-LIB script text (the same serialization the
+verification cache hashes), the resource budget, the certification
+config, and the VSIDS decision seed.  Everything that crosses the process
+boundary — the unit in, the :class:`~repro.solver.result.SolverResult`
+list (with any :class:`~repro.solver.result.CertificateReport`) out — is
+plain-dataclass picklable; proofs are replayed *inside* the worker by the
+certification layer, so only their verdict (the certificate) rides back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.solver.interface import CertificationConfig, SolverBudget
+from repro.solver.result import SolverResult
+
+
+@dataclass(frozen=True, slots=True)
+class WorkUnit:
+    """One solver check, ready to ship to a worker process."""
+
+    script_text: str
+    budget: SolverBudget | None = None
+    certification: CertificationConfig | None = None
+    decision_seed: int = 0
+    label: str = ""
+    #: Test-only deterministic crash seam (see :mod:`repro.procpool.faults`);
+    #: production callers never set it.
+    fault: str | None = None
+
+
+@dataclass(slots=True)
+class WorkerCrashReport:
+    """Structured account of a worker that died instead of answering.
+
+    ``kind`` classifies the failure: ``"exit"`` (process died — nonzero
+    exit, SIGKILL, or EOF on the result pipe), ``"ipc"`` (the result
+    payload arrived unpicklable/truncated), ``"stall"`` (heartbeats
+    stopped and the supervisor hard-killed the worker), ``"rss"``
+    (resident memory exceeded the ceiling).  ``retried`` records whether
+    the unit got its one replacement-worker retry before this report
+    surfaced as UNKNOWN.
+    """
+
+    kind: str
+    detail: str
+    label: str = ""
+    decision_seed: int = 0
+    exit_code: int | None = None
+    worker_pid: int | None = None
+    retried: bool = False
+
+    def summary(self) -> str:
+        parts = [f"{self.kind}: {self.detail}"]
+        if self.exit_code is not None:
+            parts.append(f"exit code {self.exit_code}")
+        if self.worker_pid is not None:
+            parts.append(f"pid {self.worker_pid}")
+        parts.append("retried once" if self.retried else "not retried")
+        return "; ".join(parts)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "label": self.label,
+            "decision_seed": self.decision_seed,
+            "exit_code": self.exit_code,
+            "worker_pid": self.worker_pid,
+            "retried": self.retried,
+        }
+
+
+@dataclass(slots=True)
+class UnitOutcome:
+    """What the supervisor hands back for one unit.
+
+    Exactly one of three shapes: ``results`` set (the worker answered),
+    ``crash`` set (the unit died twice; the caller surfaces it as
+    UNKNOWN), or ``cancelled`` True (a cancel event fired and the worker
+    was killed mid-solve — the caller raises, never caches).  ``error``
+    carries a worker-side solver exception ``(type_name, message)`` to be
+    re-raised in the parent, mirroring the thread backend.  ``kills`` and
+    ``attempts`` feed the pool metrics; ``rescued_seed`` is set by the
+    portfolio when a nonzero seed produced the decisive answer.
+    """
+
+    results: list[SolverResult] | None = None
+    crash: WorkerCrashReport | None = None
+    error: tuple[str, str] | None = None
+    cancelled: bool = False
+    retried: bool = False
+    attempts: int = 1
+    kills: int = 0
+    rescued_seed: int | None = None
+    crashes: list[WorkerCrashReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.results is not None

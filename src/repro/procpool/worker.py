@@ -1,0 +1,158 @@
+"""Worker process: child-side execution loop and parent-side handle.
+
+The child is deliberately dumb: receive a :class:`WorkUnit`, run
+:func:`repro.smtlib.parser.execute_script` on it (a fresh solver per
+unit — no state survives between units beyond warm imports), send back
+``("ok", results)`` or ``("err", type_name, message)``, repeat.  A
+daemon heartbeat thread sends ``("hb",)`` every ``heartbeat_interval``
+seconds so the supervisor can tell "still grinding" from "wedged".
+
+All supervision intelligence (deadlines, stall detection, RSS ceilings,
+kill/replace/retry) lives in the parent-side
+:class:`~repro.procpool.supervisor.WorkerSupervisor`; the
+:class:`SolverWorker` handle here only wraps process + pipe mechanics.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.errors import ExecutionError
+from repro.procpool import faults
+from repro.procpool.unit import WorkUnit
+
+_SHUTDOWN = None  # sentinel the parent sends for a clean worker exit
+
+
+def _child_main(conn, heartbeat_interval: float) -> None:
+    """Run units from ``conn`` until the shutdown sentinel (or EOF)."""
+    from repro.smtlib.parser import execute_script
+
+    send_lock = threading.Lock()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is _SHUTDOWN:
+            return
+        unit: WorkUnit = message
+        hb_stop = threading.Event()
+
+        def beat(stop=hb_stop) -> None:
+            while not stop.wait(heartbeat_interval):
+                try:
+                    with send_lock:
+                        conn.send(("hb",))
+                except (BrokenPipeError, OSError):
+                    return
+
+        heartbeat = threading.Thread(target=beat, daemon=True, name="hb")
+        heartbeat.start()
+        try:
+            faults.trigger(unit.fault, "pre-solve", conn=conn, hb_stop=hb_stop)
+            results = execute_script(
+                unit.script_text,
+                budget=unit.budget,
+                certification=unit.certification,
+                decision_seed=unit.decision_seed,
+            )
+            payload = ("ok", results)
+        except Exception as exc:  # noqa: BLE001 - shipped back, re-raised in parent
+            payload = ("err", type(exc).__name__, str(exc))
+        hb_stop.set()
+        heartbeat.join(timeout=heartbeat_interval * 4)
+        try:
+            faults.trigger(unit.fault, "post-solve", conn=conn, hb_stop=hb_stop)
+            with send_lock:
+                conn.send(payload)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class SolverWorker:
+    """Parent-side handle on one worker process and its result pipe."""
+
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+    def __init__(self, ctx, worker_id: int, heartbeat_interval: float) -> None:
+        self.worker_id = worker_id
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=_child_main,
+            args=(child_conn, heartbeat_interval),
+            name=f"procpool-worker-{worker_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    @property
+    def exit_code(self) -> int | None:
+        return self.process.exitcode
+
+    def submit(self, unit: WorkUnit) -> None:
+        try:
+            self.conn.send(unit)
+        except (BrokenPipeError, OSError) as exc:
+            raise ExecutionError(f"worker {self.worker_id} pipe closed") from exc
+
+    def poll(self, timeout: float) -> bool:
+        try:
+            return self.conn.poll(timeout)
+        except (BrokenPipeError, OSError):
+            return False
+
+    def recv(self):
+        """Next message; raises EOFError/OSError on a dead pipe and
+        whatever unpickling raises on a corrupt payload."""
+        return self.conn.recv()
+
+    def rss_bytes(self) -> int | None:
+        """Resident set size via ``/proc`` (None where unavailable)."""
+        pid = self.process.pid
+        if pid is None:
+            return None
+        try:
+            with open(f"/proc/{pid}/statm", "r", encoding="ascii") as fh:
+                fields = fh.read().split()
+            return int(fields[1]) * self._PAGE_SIZE
+        except (OSError, IndexError, ValueError):
+            return None
+
+    def kill(self) -> None:
+        """SIGKILL + reap + close the pipe.  Idempotent; never blocks long."""
+        try:
+            self.process.kill()
+        except (OSError, AttributeError):  # pragma: no cover - already gone
+            pass
+        self.process.join(timeout=5.0)
+        self._close_conn()
+
+    def shutdown(self, grace: float) -> None:
+        """Ask for a clean exit; escalate to kill after ``grace`` seconds."""
+        try:
+            self.conn.send(_SHUTDOWN)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=grace)
+        if self.process.is_alive():
+            self.kill()
+            return
+        self._close_conn()
+
+    def _close_conn(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - double close
+            pass

@@ -116,10 +116,19 @@ class Solver:
         *,
         enable_preprocessing: bool = False,
         certification: CertificationConfig | None = None,
+        decision_seed: int = 0,
     ) -> None:
         self.budget = budget or SolverBudget()
         self.enable_preprocessing = enable_preprocessing
         self.certification = certification
+        # VSIDS diversification for portfolio solving: perturbs the SAT
+        # core's initial decision phases deterministically.  Seed 0 (the
+        # default) is the exact legacy search; any other seed explores a
+        # different trajectory over the same formulas, so a budget that
+        # starves seed 0 may still let seed k decide — soundness is
+        # unaffected because every decisive answer is (optionally)
+        # certified independently of the trajectory that found it.
+        self.decision_seed = decision_seed
         self.universe = Universe()
         self.statistics = SolverStatistics()
         self._stack: list[list[Formula]] = [[]]
@@ -238,6 +247,7 @@ class Solver:
             stats=self.statistics,
             max_conflicts=self.budget.max_conflicts,
             max_propagations=self.budget.max_propagations,
+            decision_seed=self.decision_seed,
         )
         if self._certifying:
             sat.proof = ProofLog()

@@ -26,6 +26,32 @@ _RESTART_BASE = 64
 _ACTIVITY_DECAY = 0.95
 _ACTIVITY_RESCALE = 1e100
 
+# Knuth-style multiplicative hashes for the seeded initial-phase
+# assignment.  Seed 0 is reserved for the legacy all-False phases so a
+# seeded portfolio member can never silently replace the canonical
+# search trajectory (byte-identical traces depend on it).
+_PHASE_HASH_VAR = 2654435761
+_PHASE_HASH_SEED = 2246822519
+
+
+def seeded_phase(var: int, seed: int) -> bool:
+    """Deterministic initial phase of ``var`` under ``seed`` (0 = False).
+
+    A cheap avalanche over (var, seed): the same pair always yields the
+    same polarity, and different seeds flip roughly half the variables —
+    the diversification a portfolio race needs without any RNG state.
+    """
+    if seed == 0:
+        return False
+    # Combine with + (not ^): carries let the seed perturb every bit
+    # position differently per variable, where a plain XOR would reduce
+    # the seed's contribution to one global polarity flip.  Two
+    # multiply-shift rounds finish the avalanche (Murmur3-style).
+    mixed = (var * _PHASE_HASH_VAR + seed * _PHASE_HASH_SEED) & 0xFFFFFFFF
+    mixed = ((mixed ^ (mixed >> 16)) * 0x45D9F3B) & 0xFFFFFFFF
+    mixed = ((mixed ^ (mixed >> 16)) * 0x45D9F3B) & 0xFFFFFFFF
+    return bool((mixed ^ (mixed >> 16)) & 1)
+
 
 def luby(i: int) -> int:
     """The i-th element (1-based) of the Luby restart sequence.
@@ -56,18 +82,25 @@ class CDCLSolver:
         max_conflicts: int | None = None,
         max_propagations: int | None = None,
         deadline: float | None = None,
+        decision_seed: int = 0,
     ) -> None:
         self.stats = stats or SolverStatistics()
         self.max_conflicts = max_conflicts
         self.max_propagations = max_propagations
         self.deadline = deadline
+        # Perturbs only the *initial* decision phases (phase saving takes
+        # over after the first assignment); seed 0 keeps the historical
+        # all-False start so existing traces stay byte-identical.
+        self.decision_seed = decision_seed
 
         self._clauses: list[list[int]] = []
         self._watches: dict[int, list[int]] = {}
         self._values: list[int] = [_UNASSIGNED] * (num_vars + 1)
         self._levels: list[int] = [0] * (num_vars + 1)
         self._reasons: list[int] = [-1] * (num_vars + 1)
-        self._phases: list[bool] = [False] * (num_vars + 1)
+        self._phases: list[bool] = [
+            seeded_phase(v, decision_seed) for v in range(num_vars + 1)
+        ]
         self._activity: list[float] = [0.0] * (num_vars + 1)
         self._activity_inc = 1.0
         self._trail: list[int] = []
@@ -102,7 +135,7 @@ class CDCLSolver:
             self._values.append(_UNASSIGNED)
             self._levels.append(0)
             self._reasons.append(-1)
-            self._phases.append(False)
+            self._phases.append(seeded_phase(self._num_vars, self.decision_seed))
             self._activity.append(0.0)
 
     def add_clause(

@@ -1,0 +1,530 @@
+"""Process-pool supervision suites: kill matrix, portfolio, backend parity.
+
+Every test that spawns real worker processes ends by asserting the pool
+left zero orphans — both by the supervisor's own book-keeping
+(:meth:`WorkerSupervisor.live_pids`) and by asking multiprocessing for
+surviving children.  Faults are injected *inside* the worker via the
+deterministic seams in :mod:`repro.procpool.faults`.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.core.metrics import PipelineMetrics
+from repro.core.pipeline import PipelineConfig, PolicyPipeline
+from repro.errors import ExecutionError, QueryCancelledError
+from repro.procpool import (
+    PortfolioConfig,
+    ProcPoolConfig,
+    UnitOutcome,
+    WorkerCrashReport,
+    WorkerSupervisor,
+    WorkUnit,
+)
+from repro.procpool.faults import DIE_EXIT_CODE
+from repro.solver.interface import CertificationConfig, SolverBudget
+from repro.solver.result import SatResult
+
+pytestmark = pytest.mark.procpool
+
+TRIVIAL_SCRIPT = "(set-logic UF)\n(declare-fun p () Bool)\n(assert p)\n(check-sat)\n"
+
+PARITY_POLICY = """\
+TikTak collects your email address for account purposes.
+TikTak shares your device information with advertisers.
+We do not sell your precise location.
+"""
+
+PARITY_QUESTIONS = [
+    "Does TikTak collect my email address?",
+    "Does TikTak share device information with advertisers?",
+    "Does TikTak sell my precise location?",
+]
+
+
+def fast_config(**overrides) -> ProcPoolConfig:
+    defaults = dict(
+        workers=2,
+        heartbeat_interval=0.05,
+        stall_after=0.5,
+        kill_grace=2.0,
+        poll_interval=0.01,
+        shutdown_grace=1.0,
+    )
+    defaults.update(overrides)
+    return ProcPoolConfig(**defaults)
+
+
+def assert_no_orphans(supervisor: WorkerSupervisor) -> None:
+    assert supervisor.live_pids() == []
+    lingering = [
+        p for p in multiprocessing.active_children()
+        if p.name.startswith("procpool-worker-")
+    ]
+    assert lingering == []
+
+
+def php_script(pigeons: int = 6) -> str:
+    """Guarded pigeonhole: PHP(n, n-1) behind a guard variable ``s``.
+
+    ``s`` is declared first, so it is decision variable 1.  Seed 0
+    (all-False phases) dives into the ``(not s)`` branch — the classic
+    exponentially hard UNSAT pigeonhole — and exhausts a small conflict
+    budget; any seed whose hash sets ``s`` True satisfies every clause
+    immediately.  Deterministically rescuable, deterministically cheap
+    for the rescuers.
+    """
+    holes = pigeons - 1
+    lines = ["(set-logic UF)", "(declare-fun s () Bool)"]
+
+    def var(i: int, j: int) -> str:
+        return f"x{i}_{j}"
+
+    for i in range(pigeons):
+        for j in range(holes):
+            lines.append(f"(declare-fun {var(i, j)} () Bool)")
+    for i in range(pigeons):
+        lits = " ".join(var(i, j) for j in range(holes))
+        lines.append(f"(assert (or s {lits}))")
+    for j in range(holes):
+        for i in range(pigeons):
+            for k in range(i + 1, pigeons):
+                lines.append(
+                    f"(assert (or s (not {var(i, j)}) (not {var(k, j)})))"
+                )
+    lines.append("(check-sat)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Round trip & configuration
+# ----------------------------------------------------------------------
+
+
+def test_pool_round_trips_certified_result():
+    supervisor = WorkerSupervisor(fast_config())
+    try:
+        outcome = supervisor.run_unit(
+            WorkUnit(
+                script_text=TRIVIAL_SCRIPT,
+                budget=SolverBudget(),
+                certification=CertificationConfig(),
+            )
+        )
+        assert outcome.ok and not outcome.retried and outcome.attempts == 1
+        result = outcome.results[-1]
+        assert result.status is SatResult.SAT
+        assert result.certificate is not None and not result.certificate.failed
+    finally:
+        supervisor.shutdown()
+    assert_no_orphans(supervisor)
+
+
+def test_workers_are_reused_between_units():
+    supervisor = WorkerSupervisor(fast_config(workers=1))
+    try:
+        for _ in range(3):
+            assert supervisor.run_unit(WorkUnit(script_text=TRIVIAL_SCRIPT)).ok
+        assert supervisor.stats()["workers_spawned"] == 1
+    finally:
+        supervisor.shutdown()
+    assert_no_orphans(supervisor)
+
+
+def test_config_validation():
+    with pytest.raises(ExecutionError):
+        ProcPoolConfig(workers=0)
+    with pytest.raises(ExecutionError):
+        ProcPoolConfig(stall_after=0.01, heartbeat_interval=0.05)
+    with pytest.raises(ExecutionError):
+        ProcPoolConfig(start_method="no-such-method")
+    with pytest.raises(ExecutionError):
+        ProcPoolConfig(max_rss_mb=-1)
+    with pytest.raises(ExecutionError):
+        PortfolioConfig(seeds=())
+    with pytest.raises(ExecutionError):
+        PortfolioConfig(seeds=(0, 1))
+    with pytest.raises(ExecutionError):
+        PortfolioConfig(seeds=(1, 1))
+    with pytest.raises(ValueError):
+        PipelineConfig(execution_backend="fork-bomb")
+
+
+def test_shutdown_is_idempotent_and_checkout_after_close_raises():
+    supervisor = WorkerSupervisor(fast_config())
+    assert supervisor.run_unit(WorkUnit(script_text=TRIVIAL_SCRIPT)).ok
+    supervisor.shutdown()
+    supervisor.shutdown()
+    assert supervisor.closed
+    with pytest.raises(ExecutionError):
+        supervisor.run_unit(WorkUnit(script_text=TRIVIAL_SCRIPT))
+    assert_no_orphans(supervisor)
+
+
+# ----------------------------------------------------------------------
+# Kill matrix
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    ("fault", "kind", "exit_code"),
+    [
+        ("sigkill", "exit", -9),
+        ("die-pre-result", "exit", DIE_EXIT_CODE),
+        ("truncated-ipc", "ipc", None),
+        ("stall", "stall", None),
+    ],
+)
+def test_kill_matrix_retries_exactly_once_then_surfaces(fault, kind, exit_code):
+    supervisor = WorkerSupervisor(fast_config())
+    try:
+        outcome = supervisor.run_unit(
+            WorkUnit(script_text=TRIVIAL_SCRIPT, fault=fault, label=fault)
+        )
+        assert not outcome.ok
+        assert outcome.retried and outcome.attempts == 2
+        assert len(outcome.crashes) == 2  # first crash + the retry's crash
+        assert all(c.kind == kind for c in outcome.crashes)
+        assert outcome.crash is outcome.crashes[-1]
+        assert outcome.crash.retried
+        if exit_code is not None:
+            assert outcome.crash.exit_code == exit_code
+        assert fault in outcome.crash.label
+        stats = supervisor.stats()
+        assert stats["units_retried"] == 1
+        assert stats["workers_spawned"] == 2  # each crash burns its worker
+        if kind == "stall":
+            assert stats["stall_kills"] == 2
+    finally:
+        supervisor.shutdown()
+    assert_no_orphans(supervisor)
+
+
+def test_crash_report_summary_names_the_failure():
+    report = WorkerCrashReport(
+        kind="exit", detail="boom", exit_code=-9, worker_pid=123, retried=True
+    )
+    text = report.summary()
+    assert "exit: boom" in text
+    assert "exit code -9" in text and "pid 123" in text
+    assert "retried once" in text
+    assert report.as_dict()["kind"] == "exit"
+
+
+def test_retry_disabled_surfaces_first_crash():
+    supervisor = WorkerSupervisor(fast_config(retry_crashes=False))
+    try:
+        outcome = supervisor.run_unit(
+            WorkUnit(script_text=TRIVIAL_SCRIPT, fault="sigkill")
+        )
+        assert not outcome.ok
+        assert not outcome.retried and outcome.attempts == 1
+        assert len(outcome.crashes) == 1 and not outcome.crash.retried
+    finally:
+        supervisor.shutdown()
+    assert_no_orphans(supervisor)
+
+
+def test_hard_deadline_kills_and_synthesizes_timeout_unknown():
+    # The stall fault silences heartbeats and sleeps forever; with the
+    # stall threshold out of reach, the hard wall-clock deadline is the
+    # watcher that must fire — and deadline kills are never retried.
+    supervisor = WorkerSupervisor(fast_config(stall_after=30.0, kill_grace=0.2))
+    try:
+        outcome = supervisor.run_unit(
+            WorkUnit(
+                script_text=TRIVIAL_SCRIPT,
+                budget=SolverBudget(timeout_seconds=0.2),
+                fault="stall",
+            )
+        )
+        assert outcome.ok and outcome.attempts == 1 and outcome.kills == 1
+        result = outcome.results[-1]
+        assert result.status is SatResult.UNKNOWN
+        assert "wall-clock timeout" in result.reason
+        assert supervisor.stats()["deadline_kills"] == 1
+    finally:
+        supervisor.shutdown()
+    assert_no_orphans(supervisor)
+
+
+def test_rss_ceiling_kills_without_retry():
+    # A 1 MiB ceiling is below any Python worker's resident set, so the
+    # first RSS poll mid-unit kills it; RSS kills never retry (the same
+    # unit would deterministically re-exceed the same ceiling).
+    supervisor = WorkerSupervisor(fast_config(max_rss_mb=1.0))
+    try:
+        outcome = supervisor.run_unit(
+            WorkUnit(script_text=TRIVIAL_SCRIPT, fault="delay-result")
+        )
+        assert not outcome.ok
+        assert not outcome.retried and outcome.attempts == 1
+        assert outcome.crash is not None and outcome.crash.kind == "rss"
+        assert "exceeds ceiling" in outcome.crash.detail
+        assert supervisor.stats()["rss_kills"] == 1
+    finally:
+        supervisor.shutdown()
+    assert_no_orphans(supervisor)
+
+
+def test_result_after_kill_race_discards_late_result():
+    # delay-result holds the computed answer for 0.3s; cancelling during
+    # the delay kills the worker with the result still in flight.  The
+    # outcome must come back cancelled (never the stale result), and the
+    # pool must stay clean for the next unit.
+    supervisor = WorkerSupervisor(fast_config())
+    cancel = threading.Event()
+    cancel.set()
+    try:
+        outcome = supervisor.run_unit(
+            WorkUnit(script_text=TRIVIAL_SCRIPT, fault="delay-result"),
+            cancel=cancel,
+        )
+        assert outcome.cancelled and not outcome.ok
+        assert supervisor.stats()["cancelled_units"] == 1
+        follow_up = supervisor.run_unit(WorkUnit(script_text=TRIVIAL_SCRIPT))
+        assert follow_up.ok
+        assert follow_up.results[-1].status is SatResult.SAT
+    finally:
+        supervisor.shutdown()
+    assert_no_orphans(supervisor)
+
+
+def test_shutdown_mid_unit_kills_busy_worker():
+    supervisor = WorkerSupervisor(fast_config(workers=1))
+    done: list[UnitOutcome] = []
+
+    def run() -> None:
+        try:
+            done.append(
+                supervisor.run_unit(
+                    WorkUnit(script_text=TRIVIAL_SCRIPT, fault="stall")
+                )
+            )
+        except ExecutionError:
+            pass
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    # Wait until the stalled unit is actually on a worker, then pull the
+    # plug: the busy worker must die and the unit resolve via the crash
+    # path rather than hanging forever.
+    import time
+
+    while supervisor.stats()["workers_spawned"] == 0:
+        time.sleep(0.01)
+    supervisor.shutdown()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+    assert_no_orphans(supervisor)
+
+
+# ----------------------------------------------------------------------
+# Portfolio rescue
+# ----------------------------------------------------------------------
+
+
+def test_portfolio_rescues_budget_exhausted_formula_deterministically():
+    script = php_script()
+    budget = SolverBudget(max_conflicts=30)
+    for _ in range(2):  # whole-race determinism, not a lucky first draw
+        supervisor = WorkerSupervisor(fast_config(workers=4))
+        try:
+            primary = supervisor.run_unit(
+                WorkUnit(script_text=script, budget=budget)
+            )
+            assert primary.ok
+            assert primary.results[-1].status is SatResult.UNKNOWN
+            assert "budget exhausted" in primary.results[-1].reason
+
+            outcome = supervisor.run_rescued(
+                WorkUnit(script_text=script, budget=budget),
+                portfolio=PortfolioConfig(),
+            )
+            assert outcome.ok and outcome.rescued_seed == 1
+            result = outcome.results[-1]
+            assert result.status is SatResult.SAT
+            assert result.certificate is not None
+            assert not result.certificate.failed
+            assert outcome.attempts >= 2  # primary + at least the winner
+            stats = supervisor.stats()
+            assert stats["portfolio_races"] == 1
+            assert stats["units_rescued"] == 1
+        finally:
+            supervisor.shutdown()
+        assert_no_orphans(supervisor)
+
+
+def test_portfolio_leaves_decisive_answers_alone():
+    supervisor = WorkerSupervisor(fast_config())
+    try:
+        outcome = supervisor.run_rescued(
+            WorkUnit(script_text=TRIVIAL_SCRIPT, budget=SolverBudget()),
+            portfolio=PortfolioConfig(),
+        )
+        assert outcome.ok and outcome.rescued_seed is None
+        assert outcome.results[-1].status is SatResult.SAT
+        assert supervisor.stats()["portfolio_races"] == 0
+    finally:
+        supervisor.shutdown()
+    assert_no_orphans(supervisor)
+
+
+# ----------------------------------------------------------------------
+# Pipeline wiring: backend parity, cancellation, crash degradation
+# ----------------------------------------------------------------------
+
+
+def _batch_for(backend: str):
+    pipeline = PolicyPipeline(
+        config=PipelineConfig(
+            execution_backend=backend,
+            procpool=fast_config() if backend == "process" else None,
+        )
+    )
+    model = pipeline.process(PARITY_POLICY, company="TikTak")
+    batch = pipeline.query_batch(model, PARITY_QUESTIONS)
+    pipeline.shutdown()
+    return pipeline, batch
+
+
+def test_thread_and_process_backends_produce_byte_identical_reports():
+    thread_pipeline, thread_batch = _batch_for("thread")
+    process_pipeline, process_batch = _batch_for("process")
+    assert_no_orphans_after_pipeline(process_pipeline)
+
+    thread_traces = json.dumps(
+        thread_batch.as_dict()["outcomes"], sort_keys=True
+    )
+    process_traces = json.dumps(
+        process_batch.as_dict()["outcomes"], sort_keys=True
+    )
+    assert thread_traces == process_traces
+    # The wire format IS the canonical serialization: the scripts (whose
+    # digest keys the verification cache and names quarantine entries)
+    # must match byte for byte across backends.
+    for thread_outcome, process_outcome in zip(
+        thread_batch.succeeded, process_batch.succeeded
+    ):
+        assert (
+            thread_outcome.verification.smtlib_text
+            == process_outcome.verification.smtlib_text
+        )
+        thread_cert = thread_outcome.verification.solver_result.certificate
+        process_cert = process_outcome.verification.solver_result.certificate
+        assert (thread_cert is None) == (process_cert is None)
+        if thread_cert is not None:
+            assert thread_cert.as_dict() == process_cert.as_dict()
+
+
+def assert_no_orphans_after_pipeline(pipeline: PolicyPipeline) -> None:
+    assert pipeline.execution_stats() is None  # supervisor reaped
+    lingering = [
+        p for p in multiprocessing.active_children()
+        if p.name.startswith("procpool-worker-")
+    ]
+    assert lingering == []
+
+
+def test_process_backend_exposes_pool_stats():
+    pipeline = PolicyPipeline(
+        config=PipelineConfig(
+            execution_backend="process", procpool=fast_config()
+        )
+    )
+    model = pipeline.process(PARITY_POLICY, company="TikTak")
+    assert pipeline.execution_stats() is None  # lazy: no pool before a query
+    outcome = pipeline.query(model, PARITY_QUESTIONS[0])
+    assert not outcome.failed
+    stats = pipeline.execution_stats()
+    assert stats is not None and stats["units_run"] >= 1
+    assert outcome.metrics.procpool_units >= 1
+    pipeline.shutdown()
+    assert_no_orphans_after_pipeline(pipeline)
+
+
+def test_cancelled_query_raises_and_never_poisons_the_cache():
+    pipeline = PolicyPipeline(
+        config=PipelineConfig(
+            execution_backend="process", procpool=fast_config()
+        )
+    )
+    model = pipeline.process(PARITY_POLICY, company="TikTak")
+    cancel = threading.Event()
+    cancel.set()
+    with pytest.raises(QueryCancelledError):
+        pipeline.query(model, PARITY_QUESTIONS[0], cancel=cancel)
+    # The aborted solve must not have been cached: the same question now
+    # resolves normally (a poisoned cache would replay the cancellation
+    # or a bogus verdict).
+    outcome = pipeline.query(model, PARITY_QUESTIONS[0])
+    assert not outcome.failed
+    assert outcome.metrics.verification_misses == 1
+    pipeline.shutdown()
+    assert_no_orphans_after_pipeline(pipeline)
+
+
+def test_worker_crash_degrades_to_unknown_verdict(monkeypatch):
+    # The pipeline-side mapping for a twice-crashed unit, exercised via a
+    # stub supervisor (the real kill matrix is covered above): the query
+    # keeps its slot with an UNKNOWN naming the crash instead of erroring.
+    pipeline = PolicyPipeline(
+        config=PipelineConfig(execution_backend="process")
+    )
+    crash = WorkerCrashReport(
+        kind="exit", detail="worker exited", exit_code=-9, retried=True
+    )
+
+    class StubSupervisor:
+        def run_rescued(self, unit, portfolio=None, *, cancel=None):
+            return UnitOutcome(
+                crash=crash, crashes=[crash, crash],
+                retried=True, attempts=2, kills=2,
+            )
+
+    monkeypatch.setattr(
+        pipeline, "_execution_supervisor", lambda: StubSupervisor()
+    )
+    model = pipeline.process(PARITY_POLICY, company="TikTak")
+    outcome = pipeline.query(model, PARITY_QUESTIONS[0])
+    assert outcome.verification.solver_result.status is SatResult.UNKNOWN
+    assert "worker crashed" in outcome.verification.solver_result.reason
+    assert outcome.metrics.procpool_retries == 1
+    assert outcome.metrics.procpool_crashes == 2
+    assert outcome.metrics.procpool_kills == 2
+
+
+def test_worker_side_solver_errors_rethrow_by_type(monkeypatch):
+    pipeline = PolicyPipeline(
+        config=PipelineConfig(execution_backend="process")
+    )
+
+    class StubSupervisor:
+        def run_rescued(self, unit, portfolio=None, *, cancel=None):
+            return UnitOutcome(error=("SMTLibParseError", "bad token"))
+
+    monkeypatch.setattr(
+        pipeline, "_execution_supervisor", lambda: StubSupervisor()
+    )
+    metrics = PipelineMetrics()
+    run_script = pipeline._pooled_run_script(metrics, None)
+    from repro.errors import SMTLibParseError
+
+    with pytest.raises(SMTLibParseError, match="bad token"):
+        run_script(TRIVIAL_SCRIPT, SolverBudget(), None)
+
+    class UnknownTypeSupervisor:
+        def run_rescued(self, unit, portfolio=None, *, cancel=None):
+            return UnitOutcome(error=("NoSuchError", "huh"))
+
+    monkeypatch.setattr(
+        pipeline, "_execution_supervisor", lambda: UnknownTypeSupervisor()
+    )
+    run_script = pipeline._pooled_run_script(metrics, None)
+    with pytest.raises(ExecutionError, match="NoSuchError: huh"):
+        run_script(TRIVIAL_SCRIPT, SolverBudget(), None)
