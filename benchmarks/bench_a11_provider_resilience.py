@@ -1,0 +1,200 @@
+"""A11 — provider-boundary resilience: rescue rates and cassette speed.
+
+Runs the standing chaos suite of distinct policy questions through the
+full resilience stack (``CachedLLM(CircuitBreaker(RetryingLLM(
+ProfiledLLM(SimulatedLLM))))``) under each named stress profile and
+records the rescue economics: how many faults the profile injected, how
+many retries cleared them, how many honored the server's Retry-After
+hint, and how much latency the profile simulated versus the wall clock
+actually spent (the injectable sleep seam means seconds of brownout cost
+microseconds of real time).  Every profile must end with a 100% rescue
+rate — zero errors, zero giveups — because the shipped profiles keep
+``faults_per_prompt`` within the default retry budget.
+
+The second half measures the cassette path: record throughput (fsync'd
+appends through ``store/atomic``) and replay throughput (pure dict
+lookups), the gap being the price of durability at record time that
+replay never pays again.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import print_table, write_bench_json
+
+from repro import PolicyPipeline
+from repro.llm.client import CachedLLM, UsageStats
+from repro.llm.simulated import SimulatedLLM
+from repro.providers import PROFILES, ProfiledLLM, RecordingLLM, ReplayLLM
+from repro.resilience import CircuitBreaker, RetryingLLM, RetryPolicy
+
+POLICY = """\
+Acme Privacy Policy. Last updated January 2025. Welcome to Acme ("Acme", \
+"we", "us", or "our"). This Privacy Policy explains how Acme handles your \
+information.
+
+1. Information You Provide
+We collect information that you provide directly. We collect your name \
+and email address. When you create an account, you may provide your \
+name, email address, and phone number. If you contact customer support, \
+we collect your message content. Account and profile information, such \
+as username, password, and profile image.
+
+2. How We Share Your Information
+We share your usage information with analytics providers for legitimate \
+business purposes. We disclose personal information to law enforcement \
+when required by law. We do not sell your contact information to third \
+parties. We share your location information with advertisers with your \
+consent.
+
+3. Data Retention
+We retain your email address as long as your account remains active. We \
+delete your message content after 90 days.
+"""
+
+QUESTIONS = [
+    "Acme collects the email address.",
+    "Acme collects the phone number.",
+    "Does Acme collect my name?",
+    "Acme shares the usage information with analytics providers.",
+    "Acme shares the location information with advertisers.",
+    "Acme sells the contact information.",
+    "Law enforcement receives the personal information.",
+    "Acme collects the message content.",
+]
+SUITE = QUESTIONS * 3
+WORKERS = 4
+CASSETTE_PROMPTS = 200
+
+
+def _profiled_pipeline(profile):
+    simulated: list[float] = []
+    stats = UsageStats()
+    llm = CachedLLM(
+        CircuitBreaker(
+            RetryingLLM(
+                ProfiledLLM(
+                    SimulatedLLM(), profile, sleep=simulated.append, stats=stats
+                ),
+                RetryPolicy(),
+                stats=stats,
+                sleep=simulated.append,
+            ),
+            stats=stats,
+        )
+    )
+    return PolicyPipeline(llm=llm), stats, simulated
+
+
+def test_a11_profile_rescue_rates():
+    model = PolicyPipeline().process(POLICY)
+
+    rows = []
+    profile_payload = {}
+    for name, profile in sorted(PROFILES.items()):
+        pipeline, stats, simulated = _profiled_pipeline(profile)
+        start = time.perf_counter()
+        batch = pipeline.query_batch(model, SUITE, max_workers=WORKERS)
+        wall_seconds = time.perf_counter() - start
+
+        assert batch.errors == []
+        assert stats.retry_giveups == 0
+        # Designation is content-keyed: a low fault_rate may spare a small
+        # distinct-prompt suite entirely, but the aggressive profiles must
+        # land some faults for the rescue numbers to mean anything.
+        if profile.fault_rate >= 0.3:
+            assert stats.faults_injected > 0
+        # Every injected fault was cleared by exactly one retry.
+        assert stats.retries == stats.faults_injected
+        rescue_rate = 1.0
+
+        simulated_seconds = sum(simulated)
+        rows.append(
+            [
+                name,
+                f"{stats.faults_injected}",
+                f"{stats.retries}",
+                f"{stats.retry_after_honored}",
+                f"{rescue_rate:.0%}",
+                f"{simulated_seconds:.2f}",
+                f"{wall_seconds:.2f}",
+            ]
+        )
+        profile_payload[name] = {
+            "queries": len(SUITE),
+            "workers": WORKERS,
+            "faults_injected": stats.faults_injected,
+            "retries": stats.retries,
+            "retry_after_honored": stats.retry_after_honored,
+            "giveups": stats.retry_giveups,
+            "rescue_rate": rescue_rate,
+            "simulated_latency_seconds": round(simulated_seconds, 6),
+            "wall_seconds": round(wall_seconds, 6),
+        }
+
+    print_table(
+        f"A11: profile rescue rates ({len(SUITE)} queries, "
+        f"{WORKERS} workers)",
+        [
+            "profile",
+            "faults",
+            "retries",
+            "hints honored",
+            "rescued",
+            "sim latency (s)",
+            "wall (s)",
+        ],
+        rows,
+    )
+    write_bench_json(
+        "a11_provider_resilience", profile_payload, section="profiles"
+    )
+
+
+class EchoLLM:
+    """Minimal string-in/string-out backend for raw cassette throughput."""
+
+    def complete(self, prompt: str) -> str:
+        return f"completion::{prompt}"
+
+
+def test_a11_cassette_throughput(tmp_path):
+    tape = tmp_path / "bench.jsonl"
+    prompts = [f"benchmark prompt {i}" for i in range(CASSETTE_PROMPTS)]
+
+    with RecordingLLM(EchoLLM(), tape) as recorder:
+        start = time.perf_counter()
+        for prompt in prompts:
+            recorder.complete(prompt)
+        record_seconds = time.perf_counter() - start
+    assert recorder.stats.cassette_records == CASSETTE_PROMPTS
+
+    replay = ReplayLLM(tape, strict=True)
+    start = time.perf_counter()
+    for prompt in prompts:
+        replay.complete(prompt)
+    replay_seconds = time.perf_counter() - start
+    assert replay.stats.cassette_misses == 0
+
+    record_rate = CASSETTE_PROMPTS / record_seconds if record_seconds else 0.0
+    replay_rate = CASSETTE_PROMPTS / replay_seconds if replay_seconds else 0.0
+    print_table(
+        f"A11: cassette throughput ({CASSETTE_PROMPTS} prompts)",
+        ["mode", "seconds", "prompts/s"],
+        [
+            ["record (fsync'd)", f"{record_seconds:.3f}", f"{record_rate:,.0f}"],
+            ["replay (in-memory)", f"{replay_seconds:.3f}", f"{replay_rate:,.0f}"],
+        ],
+    )
+    write_bench_json(
+        "a11_provider_resilience",
+        {
+            "prompts": CASSETTE_PROMPTS,
+            "record_seconds": round(record_seconds, 6),
+            "replay_seconds": round(replay_seconds, 6),
+            "record_per_second": round(record_rate, 1),
+            "replay_per_second": round(replay_rate, 1),
+        },
+        section="cassette",
+    )

@@ -35,13 +35,26 @@ from repro.core.pipeline import (
 )
 from repro.core.verify import Verdict, VerificationResult
 from repro.errors import (
+    CassetteMissError,
     JobError,
+    PermanentHTTPError,
+    ProviderError,
+    RateLimitError,
     RegistryError,
     ReproError,
     ServerError,
     SnapshotError,
+    TransientHTTPError,
 )
 from repro.jobs import JobConfig, JobResult, JobRunner
+from repro.providers import (
+    HTTPProvider,
+    ProfiledLLM,
+    RecordingLLM,
+    ReplayLLM,
+    StressProfile,
+    get_profile,
+)
 from repro.registry import FleetReport, MintSpec, PolicyRegistry
 from repro.resilience import BudgetLadder, DegradationReport
 from repro.server import PolicyServer, ServerConfig, ServingClient
@@ -79,6 +92,17 @@ __all__ = [
     "LatencyReservoir",
     "SnapshotStore",
     "AuditReport",
+    "HTTPProvider",
+    "RecordingLLM",
+    "ReplayLLM",
+    "ProfiledLLM",
+    "StressProfile",
+    "get_profile",
+    "ProviderError",
+    "TransientHTTPError",
+    "RateLimitError",
+    "PermanentHTTPError",
+    "CassetteMissError",
     "ReproError",
     "SnapshotError",
     "__version__",

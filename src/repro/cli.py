@@ -30,7 +30,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro import PolicyPipeline
+from repro import PipelineMetrics, PolicyPipeline
 from repro.analysis import (
     coverage_report,
     diff_policies,
@@ -40,7 +40,7 @@ from repro.analysis import (
     render_diff,
 )
 from repro.core.extraction import extract_policy
-from repro.errors import ReproError, SnapshotError
+from repro.errors import ProviderError, ReproError, SnapshotError
 
 EXIT_CODES_EPILOG = """\
 exit codes:
@@ -58,6 +58,9 @@ exit codes:
      the checkpoint journal and `batch resume` picks up the rest
   7  server failed to bind or become ready: `serve` could not take its
      address, or the registry root has no companies to serve
+  8  provider/cassette failure: `--provider http` without REPRO_LLM_URL,
+     a permanent provider rejection (4xx other than 408/429), or a strict
+     `--cassette replay` asked for a prompt the cassette never recorded
 """
 
 
@@ -86,24 +89,118 @@ def _cmd_process(args: argparse.Namespace) -> int:
     return 0
 
 
-def _resilient_pipeline(args: argparse.Namespace) -> PolicyPipeline:
+def _add_provider_options(sp) -> None:
+    """LLM provider/cassette flags shared by query, batch, registry, serve."""
+    sp.add_argument(
+        "--llm-provider",
+        choices=("simulated", "http"),
+        default="simulated",
+        dest="provider",
+        help="completion backend: 'simulated' is the offline default; "
+        "'http' posts to the endpoint configured by REPRO_LLM_URL (plus "
+        "REPRO_LLM_MODEL / REPRO_LLM_API_KEY / REPRO_LLM_TIMEOUT / "
+        "REPRO_LLM_RPS) and exits 8 when unconfigured (default: simulated)",
+    )
+    sp.add_argument(
+        "--cassette",
+        choices=("record", "replay"),
+        help="record prompt->completion pairs to the cassette at "
+        "--cassette-path, or replay them deterministically with no "
+        "backend; strict replay exits 8 on an unrecorded prompt",
+    )
+    sp.add_argument(
+        "--cassette-path",
+        metavar="FILE",
+        help="cassette JSONL file for --cassette record|replay",
+    )
+    sp.add_argument(
+        "--profile",
+        metavar="NAME",
+        help="wrap the backend in a deterministic stress profile "
+        "(flaky-429, brownout, flapping) exercising the retry/breaker "
+        "stack with content-keyed faults and latency",
+    )
+
+
+def _build_provider_stack(args: argparse.Namespace):
+    """Compose the LLM stack the provider/cassette flags describe.
+
+    Returns ``None`` when no provider flag is active, so callers fall
+    through to the pipeline's default backend.  The composed stack is
+    ``CachedLLM(CircuitBreaker(RetryingLLM(RecordingLLM?(ProfiledLLM?(
+    backend)))))`` — retries above the recorder so only completions that
+    actually succeeded are captured, the profile injector at the bottom
+    where a real unreliable provider would sit.
+    """
+    provider = getattr(args, "provider", "simulated")
+    cassette_mode = getattr(args, "cassette", None)
+    cassette_path = getattr(args, "cassette_path", None)
+    profile_name = getattr(args, "profile", None)
+    if cassette_mode and not cassette_path:
+        raise ReproError("--cassette requires --cassette-path FILE")
+    if cassette_path and not cassette_mode:
+        raise ReproError("--cassette-path requires --cassette record|replay")
+    if provider == "simulated" and not cassette_mode and not profile_name:
+        return None
+
+    from repro.llm.client import CachedLLM, UsageStats
+    from repro.llm.simulated import SimulatedLLM
+    from repro.providers import (
+        HTTPProvider,
+        ProfiledLLM,
+        RecordingLLM,
+        ReplayLLM,
+        get_profile,
+    )
+    from repro.resilience import CircuitBreaker, RetryingLLM, RetryPolicy
+
+    if cassette_mode == "replay":
+        # Replay needs no backend at all; --llm-provider is ignored.
+        backend = ReplayLLM(cassette_path, strict=True)
+    elif provider == "http":
+        backend = HTTPProvider.from_env()
+    else:
+        backend = SimulatedLLM()
+    if profile_name:
+        try:
+            profile = get_profile(profile_name)
+        except ValueError as exc:
+            raise ReproError(str(exc)) from None
+        backend = ProfiledLLM(backend, profile)
+    if cassette_mode == "record":
+        backend = RecordingLLM(backend, cassette_path)
+    stats = UsageStats()
+    return CachedLLM(
+        CircuitBreaker(
+            RetryingLLM(
+                backend,
+                RetryPolicy(max_retries=getattr(args, "max_retries", 2)),
+                stats=stats,
+            ),
+            stats=stats,
+        )
+    )
+
+
+def _resilient_pipeline(args: argparse.Namespace, llm=None) -> PolicyPipeline:
     """A pipeline with the LLM boundary wrapped and the ladder armed."""
     from repro.core.pipeline import PipelineConfig
     from repro.llm.client import CachedLLM, UsageStats
     from repro.llm.simulated import SimulatedLLM
     from repro.resilience import BudgetLadder, CircuitBreaker, RetryingLLM, RetryPolicy
 
-    stats = UsageStats()
-    llm = CachedLLM(
-        CircuitBreaker(
-            RetryingLLM(
-                SimulatedLLM(),
-                RetryPolicy(max_retries=args.max_retries),
+    if llm is None:
+        stats = UsageStats()
+        llm = CachedLLM(
+            CircuitBreaker(
+                RetryingLLM(
+                    SimulatedLLM(),
+                    RetryPolicy(max_retries=args.max_retries),
+                    stats=stats,
+                ),
                 stats=stats,
-            ),
-            stats=stats,
+            )
         )
-    )
     try:
         multipliers = tuple(
             float(m) for m in args.ladder.split(",") if m.strip()
@@ -182,8 +279,11 @@ def _apply_backend(pipeline: PolicyPipeline, args: argparse.Namespace) -> None:
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core.verify import is_certification_failure
 
+    llm = _build_provider_stack(args)
     pipeline = (
-        _resilient_pipeline(args) if args.resilient else PolicyPipeline()
+        _resilient_pipeline(args, llm=llm)
+        if args.resilient
+        else PolicyPipeline(llm=llm)
     )
     if args.certify is not None:
         pipeline.config.certify = args.certify
@@ -202,8 +302,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print("\n--- SMT-LIB script ---")
         print(outcome.verification.smtlib_text)
     if args.stats:
+        # Fold the LLM stack's live resilience state (breaker, retries,
+        # provider/cassette counters) into the lifetime metrics, then
+        # merge with the per-query stage accounting for one report.
+        pipeline.sync_resilience_metrics()
+        stats = PipelineMetrics(queries=0)
+        stats.merge(outcome.metrics)
+        stats.merge(pipeline.metrics)
         print("\n--- pipeline metrics ---")
-        print(outcome.metrics.render())
+        print(stats.render())
     # Exit code communicates the verdict for scripting: 0 valid, 1 invalid,
     # 2 unknown (3 is reserved for errors, matching ErrorOutcome batches;
     # 5 flags the certification soundness alarm, a special UNKNOWN).
@@ -393,6 +500,7 @@ def _add_batch_options(sp, *, checkpoint_required: bool = False) -> None:
         help="write the full structured result to FILE",
     )
     _add_backend_options(sp)
+    _add_provider_options(sp)
 
 
 def _job_config(args: argparse.Namespace):
@@ -411,7 +519,9 @@ def _job_config(args: argparse.Namespace):
         raise ReproError(f"invalid batch options: {exc}") from None
 
 
-def _render_job_result(result, args: argparse.Namespace) -> None:
+def _render_job_result(
+    result, args: argparse.Namespace, pipeline: PolicyPipeline | None = None
+) -> None:
     from repro.jobs import CheckpointedOutcome
 
     for index, outcome in enumerate(result.outcomes):
@@ -432,8 +542,16 @@ def _render_job_result(result, args: argparse.Namespace) -> None:
             file=sys.stderr,
         )
     if args.stats:
+        stats = result.metrics
+        if pipeline is not None:
+            # Fold the LLM stack's resilience counters (retries, breaker
+            # state, provider/cassette totals) into the report.
+            pipeline.sync_resilience_metrics()
+            stats = PipelineMetrics(queries=0)
+            stats.merge(result.metrics)
+            stats.merge(pipeline.metrics)
         print("\n--- pipeline metrics ---")
-        print(result.metrics.render())
+        print(stats.render())
     if args.json:
         from repro.store.atomic import atomic_write_json
 
@@ -495,7 +613,7 @@ def _cmd_registry_list(args: argparse.Namespace) -> int:
 def _cmd_registry_query(args: argparse.Namespace) -> int:
     from repro.registry import PolicyRegistry
 
-    pipeline = PolicyPipeline()
+    pipeline = PolicyPipeline(llm=_build_provider_stack(args))
     _apply_query_timeout(pipeline, args.timeout)
     _apply_backend(pipeline, args)
     if args.resume and not args.checkpoint:
@@ -530,10 +648,9 @@ def _cmd_registry_query(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     if args.stats:
-        from repro import PipelineMetrics
-
         # Job counters plus the pipeline-lifetime registry/store counters
         # (hits, shard loads, evictions) — disjoint by construction.
+        pipeline.sync_resilience_metrics()
         stats = PipelineMetrics(queries=0)
         stats.merge(report.job.metrics)
         stats.merge(pipeline.metrics)
@@ -566,7 +683,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         raise ReproError(f"invalid serve options: {exc}") from None
-    pipeline = PolicyPipeline()
+    pipeline = PolicyPipeline(llm=_build_provider_stack(args))
     _apply_backend(pipeline, args)
     server = PolicyServer(config, pipeline=pipeline)
     try:
@@ -584,6 +701,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(report.summary())
     if args.stats:
         print("\n--- pipeline metrics ---")
+        server.pipeline.sync_resilience_metrics()
         stats = server.metrics
         stats.merge(server.pipeline.metrics)
         print(stats.render())
@@ -593,7 +711,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_batch_run(args: argparse.Namespace) -> int:
     from repro.jobs import JobRunner
 
-    pipeline = PolicyPipeline()
+    pipeline = PolicyPipeline(llm=_build_provider_stack(args))
     _apply_query_timeout(pipeline, args.timeout)
     _apply_backend(pipeline, args)
     model = pipeline.process(_read_policy(args.policy))
@@ -601,21 +719,21 @@ def _cmd_batch_run(args: argparse.Namespace) -> int:
     runner = JobRunner(pipeline, model, _job_config(args))
     result = runner.run(questions)
     pipeline.shutdown()
-    _render_job_result(result, args)
+    _render_job_result(result, args, pipeline=pipeline)
     return _job_exit_code(result)
 
 
 def _cmd_batch_resume(args: argparse.Namespace) -> int:
     from repro.jobs import JobRunner
 
-    pipeline = PolicyPipeline()
+    pipeline = PolicyPipeline(llm=_build_provider_stack(args))
     _apply_query_timeout(pipeline, args.timeout)
     _apply_backend(pipeline, args)
     model = pipeline.process(_read_policy(args.policy))
     runner = JobRunner(pipeline, model, _job_config(args))
     result = runner.resume()
     pipeline.shutdown()
-    _render_job_result(result, args)
+    _render_job_result(result, args, pipeline=pipeline)
     return _job_exit_code(result)
 
 
@@ -706,6 +824,7 @@ def build_parser() -> argparse.ArgumentParser:
         "solver deadline as min(configured, S); default unchanged",
     )
     _add_backend_options(p)
+    _add_provider_options(p)
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("audit", help="contradiction and coverage report")
@@ -924,6 +1043,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print merged pipeline metrics after the drain",
     )
     _add_backend_options(p)
+    _add_provider_options(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -995,6 +1115,9 @@ def main(argv: list[str] | None = None) -> int:
         for report in reports:
             print(report.summary(), file=sys.stderr)
         return 4
+    except ProviderError as exc:
+        print(f"provider error: {exc}", file=sys.stderr)
+        return 8
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 3

@@ -204,6 +204,19 @@ class PipelineMetrics:
     procpool_crashes: int = 0  # units whose retry also died (surfaced UNKNOWN)
     procpool_retries: int = 0  # crashed units replayed on a replacement worker
     procpool_rescues: int = 0  # budget-limited verdicts decided by the portfolio
+    # LLM provider boundary accounting (repro.providers + repro.resilience):
+    # synced onto PolicyPipeline.metrics from the wrapper stack's UsageStats
+    # by sync_resilience_metrics(), so they are lifetime absolutes like the
+    # snapshot counters above.
+    llm_retries: int = 0  # failed completions replayed by RetryingLLM
+    llm_giveups: int = 0  # completions abandoned after the retry budget
+    retry_after_honored: int = 0  # retries that slept on a server-advised hint
+    breaker_state: int = 0  # gauge: 0 closed, 1 half-open, 2 open (merged by max)
+    provider_calls: int = 0  # completions served by a remote HTTP provider
+    provider_rate_limited: int = 0  # 429 rejections the provider surfaced
+    cassette_records: int = 0  # prompt->completion pairs appended to a cassette
+    cassette_replays: int = 0  # completions served from a cassette
+    cassette_misses: int = 0  # replay lookups the cassette could not serve
     #: Tail-latency sketch (p50/p95/p99) for served requests; ``None``
     #: everywhere metrics must stay byte-identical to prior releases —
     #: only the serving layer allocates one.
@@ -229,8 +242,13 @@ class PipelineMetrics:
         return self.cache_hits / total
 
     #: Gauges folded by max instead of sum: a batch's peak queue depth is
-    #: the largest any constituent saw, not their total.
-    _MAX_MERGED = frozenset({"queue_high_water", "queue_depth"})
+    #: the largest any constituent saw, not their total; a merged breaker
+    #: state reports the most degraded constituent (open > half-open >
+    #: closed, by encoding).
+    _MAX_MERGED = frozenset({"queue_high_water", "queue_depth", "breaker_state"})
+
+    #: Human-readable names for the ``breaker_state`` gauge encoding.
+    BREAKER_STATES = ("closed", "half-open", "open")
 
     def merge(self, other: "PipelineMetrics") -> None:
         """Fold ``other`` into this instance (counters add, gauges max,
@@ -257,6 +275,9 @@ class PipelineMetrics:
                 # stay byte-identical to prior releases.
                 if value is not None:
                     out[spec.name] = value.as_dict()
+                continue
+            if spec.name == "breaker_state":
+                out[spec.name] = self.BREAKER_STATES[value]
                 continue
             out[spec.name] = round(value, 6) if isinstance(value, float) else value
         out["cache_hit_rate"] = round(self.hit_rate, 4)
@@ -316,6 +337,15 @@ class PipelineMetrics:
             f"{self.procpool_kills} kills, {self.procpool_crashes} crashes "
             f"({self.procpool_retries} retried), "
             f"{self.procpool_rescues} portfolio rescues",
+            f"llm boundary: breaker {self.BREAKER_STATES[self.breaker_state]}; "
+            f"{self.llm_retries} retries "
+            f"({self.retry_after_honored} on server hints), "
+            f"{self.llm_giveups} giveups; "
+            f"provider: {self.provider_calls} calls, "
+            f"{self.provider_rate_limited} rate-limited; "
+            f"cassette: {self.cassette_records} recorded, "
+            f"{self.cassette_replays} replayed, "
+            f"{self.cassette_misses} misses",
         ]
         if self.latency is not None and self.latency.count:
             lines.append(

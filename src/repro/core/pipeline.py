@@ -411,6 +411,20 @@ class PolicyPipeline:
             supervisor = self._supervisor
         return None if supervisor is None else supervisor.stats()
 
+    def sync_resilience_metrics(self) -> dict[str, object]:
+        """Fold the LLM wrapper stack's current state into ``self.metrics``.
+
+        Walks the composed stack (cache, breaker, retry, provider,
+        cassette, profile injector — whatever this pipeline was built
+        with), aggregates the usage counters, and sets the provider/
+        breaker fields on the lifetime metrics as absolutes (idempotent
+        under repeated calls).  Returns the raw stack view for callers
+        that surface it directly, like the daemon's ``/stats``.
+        """
+        from repro.providers.introspect import sync_resilience_metrics
+
+        return sync_resilience_metrics(self.llm, self.metrics)
+
     def shutdown(self) -> None:
         """Reap the worker pool (no-op for the thread backend).
 

@@ -92,6 +92,80 @@ class InjectedFaultError(LLMError):
     """A deterministic fault raised by the test-only fault injector."""
 
 
+class ProviderError(LLMError):
+    """A remote completion provider failed (HTTP backend or cassette).
+
+    The taxonomy below is what the resilience stack keys on: transient
+    subclasses are retried, :class:`RateLimitError` additionally carries
+    the server's ``Retry-After`` hint, and permanent subclasses abort
+    immediately (retrying a 401 only burns the retry budget).
+    """
+
+
+class TransientHTTPError(ProviderError):
+    """A retryable provider failure: 5xx, timeout, or connection loss.
+
+    ``status`` is the HTTP status code when one was received, ``None``
+    for transport-level failures (reset, timeout, unparseable body).
+    """
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        self.status = status
+        super().__init__(message)
+
+
+class RateLimitError(TransientHTTPError):
+    """The provider rejected the call with 429 (or equivalent).
+
+    ``retry_after`` is the server-advised backoff in seconds (``None``
+    when the response carried no usable ``Retry-After`` header).
+    :class:`~repro.resilience.retry.RetryingLLM` honours the hint:
+    it sleeps ``min(max(schedule_delay, retry_after), max_delay)``
+    instead of hammering the rate-limited backend on the geometric
+    schedule alone.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float | None = None,
+        status: int = 429,
+    ) -> None:
+        self.retry_after = retry_after
+        super().__init__(message, status=status)
+
+
+class PermanentHTTPError(ProviderError):
+    """A non-retryable provider failure: 4xx other than 408/429.
+
+    Never retried — the request itself is wrong (bad auth, bad payload,
+    nonexistent model) and will fail identically on every attempt.
+    """
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        self.status = status
+        super().__init__(message)
+
+
+class CassetteError(ProviderError):
+    """A prompt->completion cassette is invalid or was misused."""
+
+
+class CassetteMissError(CassetteError):
+    """Strict replay was asked for a prompt the cassette never recorded.
+
+    Raised by :class:`~repro.providers.cassette.ReplayLLM` in strict
+    mode; ``prompt_digest`` identifies the missing entry so a recording
+    run can be re-driven with exactly the uncovered inputs.  Never
+    retried — replaying the lookup cannot make the record appear.
+    """
+
+    def __init__(self, message: str, prompt_digest: str = "") -> None:
+        self.prompt_digest = prompt_digest
+        super().__init__(message)
+
+
 class CorpusError(ReproError):
     """A bundled or generated policy could not be produced."""
 

@@ -44,8 +44,15 @@ class UsageStats:
     cache_hits: int = 0
     retries: int = 0  # failed attempts that were retried
     retry_giveups: int = 0  # completions abandoned after the retry budget
+    retry_after_honored: int = 0  # retries that slept on a server-advised hint
     breaker_opens: int = 0  # closed/half-open -> open transitions
     breaker_short_circuits: int = 0  # calls rejected without reaching the backend
+    provider_calls: int = 0  # completions served by a remote HTTP provider
+    provider_rate_limited: int = 0  # 429 rejections the provider surfaced
+    cassette_records: int = 0  # prompt->completion pairs appended to a cassette
+    cassette_replays: int = 0  # completions served from a cassette
+    cassette_misses: int = 0  # replay lookups the cassette could not serve
+    faults_injected: int = 0  # deterministic faults raised by ProfiledLLM
     calls_by_task: dict[str, int] = field(default_factory=dict)
 
     def record(self, prompt: str, completion: str, task: str) -> None:
@@ -53,6 +60,31 @@ class UsageStats:
         self.prompt_tokens += len(prompt.split())
         self.completion_tokens += len(completion.split())
         self.calls_by_task[task] = self.calls_by_task.get(task, 0) + 1
+
+    def merge(self, other: "UsageStats") -> None:
+        """Fold ``other``'s counters into this instance.
+
+        Used by :func:`repro.providers.introspect.llm_stack_state` to
+        aggregate the distinct :class:`UsageStats` objects a composed
+        wrapper stack may hold into one operational view.
+        """
+        self.calls += other.calls
+        self.prompt_tokens += other.prompt_tokens
+        self.completion_tokens += other.completion_tokens
+        self.cache_hits += other.cache_hits
+        self.retries += other.retries
+        self.retry_giveups += other.retry_giveups
+        self.retry_after_honored += other.retry_after_honored
+        self.breaker_opens += other.breaker_opens
+        self.breaker_short_circuits += other.breaker_short_circuits
+        self.provider_calls += other.provider_calls
+        self.provider_rate_limited += other.provider_rate_limited
+        self.cassette_records += other.cassette_records
+        self.cassette_replays += other.cassette_replays
+        self.cassette_misses += other.cassette_misses
+        self.faults_injected += other.faults_injected
+        for task, count in other.calls_by_task.items():
+            self.calls_by_task[task] = self.calls_by_task.get(task, 0) + count
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -62,8 +94,15 @@ class UsageStats:
             "cache_hits": self.cache_hits,
             "retries": self.retries,
             "retry_giveups": self.retry_giveups,
+            "retry_after_honored": self.retry_after_honored,
             "breaker_opens": self.breaker_opens,
             "breaker_short_circuits": self.breaker_short_circuits,
+            "provider_calls": self.provider_calls,
+            "provider_rate_limited": self.provider_rate_limited,
+            "cassette_records": self.cassette_records,
+            "cassette_replays": self.cassette_replays,
+            "cassette_misses": self.cassette_misses,
+            "faults_injected": self.faults_injected,
             "calls_by_task": dict(self.calls_by_task),
         }
 

@@ -1,0 +1,306 @@
+"""Env-gated HTTP completion provider over the standard library.
+
+This is the production face of the :class:`~repro.llm.client.LLMClient`
+protocol: a thin JSON-over-HTTP client built on :mod:`http.client` only
+(no third-party dependencies), designed to sit at the *bottom* of the
+resilience stack::
+
+    CachedLLM(CircuitBreaker(RetryingLLM(RecordingLLM(HTTPProvider(...)))))
+
+The provider itself never retries; it classifies every failure into the
+structured taxonomy in :mod:`repro.errors` — :class:`RateLimitError`
+carrying the server's ``Retry-After`` hint, :class:`TransientHTTPError`
+for 408/5xx/transport loss, :class:`PermanentHTTPError` for the rest of
+the 4xx range — and lets :class:`~repro.resilience.retry.RetryingLLM`
+decide what to do with each.  A client-side
+:class:`~repro.providers.throttle.TokenBucket` keeps the request rate
+under the configured budget before the server has to say 429.
+
+Nothing in tier-1 requires this module to reach a network: construction
+is explicit or env-gated (:meth:`HTTPProvider.from_env`), and the
+``transport`` seam lets tests exercise every status-code path against a
+canned in-process responder.
+"""
+
+from __future__ import annotations
+
+import json
+import http.client
+import os
+import threading
+import urllib.parse
+
+from repro.errors import (
+    PermanentHTTPError,
+    ProviderError,
+    RateLimitError,
+    TransientHTTPError,
+)
+from repro.llm.client import UsageStats
+from repro.providers.throttle import TokenBucket
+
+#: Environment variables that configure :meth:`HTTPProvider.from_env`.
+ENV_URL = "REPRO_LLM_URL"
+ENV_MODEL = "REPRO_LLM_MODEL"
+ENV_API_KEY = "REPRO_LLM_API_KEY"
+ENV_TIMEOUT = "REPRO_LLM_TIMEOUT"
+ENV_RPS = "REPRO_LLM_RPS"
+
+
+def parse_retry_after(value: str | None) -> float | None:
+    """Parse a ``Retry-After`` header into seconds, tolerantly.
+
+    Only the delta-seconds form is honored; the HTTP-date form (and any
+    other garbage) yields ``None`` so a malformed header degrades to the
+    client's own backoff schedule instead of crashing the error path.
+    """
+    if value is None:
+        return None
+    try:
+        seconds = float(value.strip())
+    except (TypeError, ValueError):
+        return None
+    if seconds < 0:
+        return None
+    return seconds
+
+
+class _PooledTransport:
+    """Keep-alive :mod:`http.client` transport with per-thread connections.
+
+    One persistent connection per (scheme, host, port) per thread: worker
+    threads in a batch never contend on a shared socket, and sequential
+    requests reuse the established connection instead of paying a
+    handshake each.  A request that fails on a *reused* connection is
+    retried once on a fresh one — the server may simply have closed the
+    idle keep-alive socket, which is not a backend failure.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def _connection(self, scheme: str, host: str, port: int, timeout: float):
+        pool = getattr(self._local, "pool", None)
+        if pool is None:
+            pool = self._local.pool = {}
+        key = (scheme, host, port)
+        conn = pool.get(key)
+        reused = conn is not None
+        if conn is None:
+            factory = (
+                http.client.HTTPSConnection
+                if scheme == "https"
+                else http.client.HTTPConnection
+            )
+            conn = factory(host, port, timeout=timeout)
+            pool[key] = conn
+        else:
+            conn.timeout = timeout
+        return conn, reused
+
+    def _drop(self, scheme: str, host: str, port: int) -> None:
+        pool = getattr(self._local, "pool", None)
+        if not pool:
+            return
+        conn = pool.pop((scheme, host, port), None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close never matters
+                pass
+
+    def __call__(
+        self,
+        url: str,
+        body: bytes,
+        headers: dict[str, str],
+        timeout: float,
+    ) -> tuple[int, dict[str, str], bytes]:
+        parts = urllib.parse.urlsplit(url)
+        if parts.scheme not in ("http", "https") or not parts.hostname:
+            raise PermanentHTTPError(f"unsupported provider URL: {url!r}")
+        host = parts.hostname
+        port = parts.port or (443 if parts.scheme == "https" else 80)
+        path = parts.path or "/"
+        if parts.query:
+            path = f"{path}?{parts.query}"
+        last_error: Exception | None = None
+        for attempt in range(2):
+            conn, reused = self._connection(parts.scheme, host, port, timeout)
+            try:
+                conn.request("POST", path, body=body, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()
+                resp_headers = {k.lower(): v for k, v in response.getheaders()}
+                return response.status, resp_headers, payload
+            except (http.client.HTTPException, OSError) as exc:
+                self._drop(parts.scheme, host, port)
+                last_error = exc
+                # Only a request that *reused* a pooled connection earns
+                # the free in-transport replay; a fresh connection that
+                # failed is a genuine transport error for the caller.
+                if not reused or attempt:
+                    break
+        raise TransientHTTPError(f"connection to {host}:{port} failed: {last_error}")
+
+
+class HTTPProvider:
+    """Stdlib HTTP completion backend implementing ``LLMClient``.
+
+    The request is ``POST {url}`` with body
+    ``{"model": ..., "prompt": ...}``; the response may answer in this
+    repository's native shape (``{"completion": "..."}``) or the common
+    OpenAI-style shapes (``choices[0].text`` / ``choices[0].message.content``).
+
+    ``transport`` is the injectable seam: any callable
+    ``(url, body, headers, timeout) -> (status, headers, body)``.  Tests
+    pass a canned responder; production uses :class:`_PooledTransport`.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        model: str = "default",
+        api_key: str | None = None,
+        timeout_seconds: float = 30.0,
+        requests_per_second: float | None = None,
+        burst: float = 4.0,
+        transport=None,
+        stats: UsageStats | None = None,
+    ) -> None:
+        if not url:
+            raise ProviderError("provider URL must be non-empty")
+        if timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be > 0")
+        self.url = url
+        self.model = model
+        self._api_key = api_key
+        self.timeout_seconds = float(timeout_seconds)
+        self._transport = transport if transport is not None else _PooledTransport()
+        self._bucket = (
+            TokenBucket(requests_per_second, burst)
+            if requests_per_second
+            else None
+        )
+        self.stats = stats if stats is not None else UsageStats()
+        self._lock = threading.Lock()
+
+    # -- configuration ---------------------------------------------------
+
+    @staticmethod
+    def is_configured(env: dict[str, str] | None = None) -> bool:
+        """Is the env-gated provider switched on (``REPRO_LLM_URL`` set)?"""
+        env = os.environ if env is None else env
+        return bool(env.get(ENV_URL))
+
+    @classmethod
+    def from_env(cls, env: dict[str, str] | None = None, **overrides) -> "HTTPProvider":
+        """Build a provider from ``REPRO_LLM_*`` environment variables.
+
+        Raises :class:`~repro.errors.ProviderError` when ``REPRO_LLM_URL``
+        is unset — callers should gate on :meth:`is_configured` first, so
+        offline runs never construct a provider by accident.
+        """
+        env = os.environ if env is None else env
+        url = env.get(ENV_URL, "")
+        if not url:
+            raise ProviderError(
+                f"HTTP provider requested but {ENV_URL} is not set; "
+                "tier-1 runs must stay offline"
+            )
+        kwargs: dict[str, object] = {"url": url}
+        if env.get(ENV_MODEL):
+            kwargs["model"] = env[ENV_MODEL]
+        if env.get(ENV_API_KEY):
+            kwargs["api_key"] = env[ENV_API_KEY]
+        if env.get(ENV_TIMEOUT):
+            try:
+                kwargs["timeout_seconds"] = float(env[ENV_TIMEOUT])
+            except ValueError as exc:
+                raise ProviderError(f"invalid {ENV_TIMEOUT}: {env[ENV_TIMEOUT]!r}") from exc
+        if env.get(ENV_RPS):
+            try:
+                kwargs["requests_per_second"] = float(env[ENV_RPS])
+            except ValueError as exc:
+                raise ProviderError(f"invalid {ENV_RPS}: {env[ENV_RPS]!r}") from exc
+        kwargs.update(overrides)
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    # -- request path ----------------------------------------------------
+
+    def _headers(self) -> dict[str, str]:
+        headers = {
+            "Content-Type": "application/json",
+            "Accept": "application/json",
+            "Connection": "keep-alive",
+        }
+        if self._api_key:
+            headers["Authorization"] = f"Bearer {self._api_key}"
+        return headers
+
+    @staticmethod
+    def _extract_completion(payload: bytes) -> str:
+        try:
+            doc = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TransientHTTPError(f"unparseable provider response: {exc}") from exc
+        if isinstance(doc, dict):
+            completion = doc.get("completion")
+            if isinstance(completion, str):
+                return completion
+            choices = doc.get("choices")
+            if isinstance(choices, list) and choices and isinstance(choices[0], dict):
+                first = choices[0]
+                if isinstance(first.get("text"), str):
+                    return first["text"]
+                message = first.get("message")
+                if isinstance(message, dict) and isinstance(message.get("content"), str):
+                    return message["content"]
+        raise TransientHTTPError(
+            "provider response carried no completion "
+            "(expected 'completion' or OpenAI-style 'choices')"
+        )
+
+    def _classify(self, status: int, headers: dict[str, str], payload: bytes) -> Exception:
+        detail = payload[:200].decode("utf-8", "replace")
+        if status == 429:
+            with self._lock:
+                self.stats.provider_rate_limited += 1
+            return RateLimitError(
+                f"provider rate-limited the request: {detail}",
+                retry_after=parse_retry_after(headers.get("retry-after")),
+            )
+        if status == 408 or status >= 500:
+            return TransientHTTPError(
+                f"provider returned {status}: {detail}", status=status
+            )
+        return PermanentHTTPError(
+            f"provider rejected the request with {status}: {detail}", status=status
+        )
+
+    def complete(self, prompt: str) -> str:
+        if self._bucket is not None:
+            self._bucket.acquire()
+        body = json.dumps(
+            {"model": self.model, "prompt": prompt}, ensure_ascii=False
+        ).encode("utf-8")
+        try:
+            status, headers, payload = self._transport(
+                self.url, body, self._headers(), self.timeout_seconds
+            )
+        except ProviderError:
+            raise
+        except TimeoutError as exc:
+            raise TransientHTTPError(f"provider request timed out: {exc}") from exc
+        except OSError as exc:
+            raise TransientHTTPError(f"provider transport failed: {exc}") from exc
+        if status != 200:
+            raise self._classify(status, headers, payload)
+        completion = self._extract_completion(payload)
+        # Only the provider-specific counter is bumped here; call/token
+        # accounting lives in CachedLLM so a stack that aggregates every
+        # wrapper's stats never double-counts a completion.
+        with self._lock:
+            self.stats.provider_calls += 1
+        return completion

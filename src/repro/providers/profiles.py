@@ -1,0 +1,230 @@
+"""Declarative, deterministic stress profiles for the LLM boundary.
+
+A :class:`StressProfile` describes how an unreliable provider behaves —
+what fraction of prompts hit rate limits, connection resets, or
+timeouts, how long those bursts last, and what the latency distribution
+looks like — and :class:`ProfiledLLM` enacts it around any real backend.
+
+Everything is **content-keyed**: whether a prompt is designated to
+fault, which fault it draws, and what latency it pays are all derived
+from ``sha256(seed:prompt_digest:channel)``, never from call order,
+wall-clock time, or shared mutable state.  The same suite of prompts
+therefore sees the *same* faults at 1, 2, or 8 workers, in any arrival
+order — which is what lets the chaos campaign assert byte-identical
+verdicts across worker counts.
+
+Fault bursts are modeled in *attempt space*: a designated prompt fails
+its first ``faults_per_prompt`` attempts and then succeeds.  With
+``faults_per_prompt`` no larger than the retry budget, every designated
+prompt is eventually rescued by :class:`~repro.resilience.retry.RetryingLLM`
+and the run's verdicts match a fault-free run exactly; push it past the
+budget and the profile deterministically produces giveups instead.
+
+Latency injection goes through an injectable ``sleep`` seam (the bugfix
+rider): chaos suites pass a fake sleep and run the full brownout profile
+in microseconds, while a manual stress run against the wall clock uses
+the default ``time.sleep``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import RateLimitError, TransientHTTPError
+from repro.llm.client import LLMClient, UsageStats, prompt_fingerprint
+
+#: Fault kinds a profile may draw from.
+KIND_RATE_LIMIT = "rate_limit"  # 429 with a Retry-After hint
+KIND_RESET = "reset"  # connection reset mid-request
+KIND_TIMEOUT = "timeout"  # request deadline expired
+
+_KNOWN_KINDS = frozenset({KIND_RATE_LIMIT, KIND_RESET, KIND_TIMEOUT})
+
+
+def _draw(seed: int, digest: str, channel: str) -> float:
+    """Deterministic uniform draw in [0, 1) keyed by content, not order."""
+    material = f"{seed}:{digest}:{channel}".encode("utf-8")
+    bucket = int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+    return bucket / 2**64
+
+
+@dataclass(frozen=True, slots=True)
+class StressProfile:
+    """One named failure regime for the provider boundary.
+
+    ``fault_rate`` is the fraction of prompts designated to fault;
+    each designated prompt fails its first ``faults_per_prompt``
+    attempts with a kind drawn (content-keyed) from ``kinds``.
+    ``latency_base``/``latency_spread`` give every call a seeded
+    latency; ``trickle_rate``/``trickle_seconds`` additionally designate
+    slow-trickle prompts whose responses crawl in far above the p99.
+    """
+
+    name: str
+    seed: int = 0
+    fault_rate: float = 0.0
+    faults_per_prompt: int = 1
+    kinds: tuple[str, ...] = (KIND_RATE_LIMIT,)
+    retry_after_seconds: float | None = None
+    latency_base: float = 0.0
+    latency_spread: float = 0.0
+    trickle_rate: float = 0.0
+    trickle_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError("fault_rate must be in [0, 1]")
+        if not 0.0 <= self.trickle_rate <= 1.0:
+            raise ValueError("trickle_rate must be in [0, 1]")
+        if self.faults_per_prompt < 0:
+            raise ValueError("faults_per_prompt must be >= 0")
+        unknown = set(self.kinds) - _KNOWN_KINDS
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+        if self.fault_rate > 0.0 and not self.kinds:
+            raise ValueError("a faulting profile needs at least one kind")
+        if min(self.latency_base, self.latency_spread, self.trickle_seconds) < 0:
+            raise ValueError("latencies must be >= 0")
+
+    # -- content-keyed decisions ----------------------------------------
+
+    def is_designated(self, digest: str) -> bool:
+        """Does this prompt fault under the profile?"""
+        return self.fault_rate > 0.0 and _draw(self.seed, digest, "fault") < self.fault_rate
+
+    def fault_kind(self, digest: str) -> str:
+        index = int(_draw(self.seed, digest, "kind") * len(self.kinds))
+        return self.kinds[min(index, len(self.kinds) - 1)]
+
+    def latency_for(self, digest: str) -> float:
+        """Seeded per-prompt latency (base + spread draw + trickle tail)."""
+        latency = self.latency_base + self.latency_spread * _draw(
+            self.seed, digest, "latency"
+        )
+        if self.trickle_rate > 0.0 and _draw(self.seed, digest, "trickle") < self.trickle_rate:
+            latency += self.trickle_seconds
+        return latency
+
+    def build_fault(self, digest: str) -> Exception:
+        kind = self.fault_kind(digest)
+        if kind == KIND_RATE_LIMIT:
+            return RateLimitError(
+                f"injected 429 for digest {digest[:12]}… "
+                f"(profile {self.name!r})",
+                retry_after=self.retry_after_seconds,
+            )
+        if kind == KIND_RESET:
+            return TransientHTTPError(
+                f"injected connection reset for digest {digest[:12]}… "
+                f"(profile {self.name!r})"
+            )
+        return TransientHTTPError(
+            f"injected timeout for digest {digest[:12]}… "
+            f"(profile {self.name!r})"
+        )
+
+
+#: The named regimes the chaos campaign and CLI ``--profile`` accept.
+#: ``faults_per_prompt`` stays within the default retry budget
+#: (``RetryPolicy.max_retries = 2``) so every designated prompt is
+#: rescued and verdicts stay identical to a fault-free run.
+PROFILES: dict[str, StressProfile] = {
+    profile.name: profile
+    for profile in (
+        # Aggressive rate limiting: a third of prompts bounce off 429s
+        # before succeeding.  The Retry-After hint (0.25s) deliberately
+        # exceeds the default geometric schedule (0.05s, 0.1s) so honoring
+        # it is observable in `retry_after_honored`.
+        StressProfile(
+            name="flaky-429",
+            seed=429,
+            fault_rate=0.35,
+            faults_per_prompt=2,
+            kinds=(KIND_RATE_LIMIT,),
+            retry_after_seconds=0.25,
+        ),
+        # Degraded-capacity brownout: everything is slow, a quarter of
+        # prompts trickle in far above the p99, and occasional timeouts
+        # need one retry.
+        StressProfile(
+            name="brownout",
+            seed=7,
+            fault_rate=0.10,
+            faults_per_prompt=1,
+            kinds=(KIND_TIMEOUT,),
+            latency_base=0.2,
+            latency_spread=0.3,
+            trickle_rate=0.25,
+            trickle_seconds=1.5,
+        ),
+        # Flapping backend: nearly half of prompts hit a rotating mix of
+        # resets, 429s, and timeouts before recovering.
+        StressProfile(
+            name="flapping",
+            seed=13,
+            fault_rate=0.45,
+            faults_per_prompt=2,
+            kinds=(KIND_RESET, KIND_RATE_LIMIT, KIND_TIMEOUT),
+            retry_after_seconds=0.02,
+            latency_base=0.01,
+            latency_spread=0.05,
+        ),
+    )
+}
+
+
+def get_profile(name: str) -> StressProfile:
+    """Look up a named profile; unknown names list the valid ones."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise ValueError(f"unknown stress profile {name!r} (known: {known})") from None
+
+
+class ProfiledLLM:
+    """Enact a :class:`StressProfile` around any ``LLMClient``.
+
+    Composes exactly where a real unreliable provider would sit — at the
+    bottom of the stack, under ``RetryingLLM``/``CircuitBreaker`` — so
+    the chaos campaign exercises the same code paths a production outage
+    would.  Per-prompt attempt counts (the only mutable state) are
+    lock-guarded and content-keyed, preserving determinism under any
+    worker interleaving.
+    """
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        profile: StressProfile,
+        *,
+        sleep=time.sleep,
+        stats: UsageStats | None = None,
+    ) -> None:
+        self._inner = inner
+        self.profile = profile
+        self._sleep = sleep
+        self.stats = stats if stats is not None else UsageStats()
+        self._lock = threading.Lock()
+        self._attempts: dict[str, int] = {}
+
+    def complete(self, prompt: str) -> str:
+        digest = prompt_fingerprint(prompt)
+        latency = self.profile.latency_for(digest)
+        if latency > 0.0:
+            self._sleep(latency)
+        if self.profile.is_designated(digest):
+            with self._lock:
+                seen = self._attempts.get(digest, 0)
+                if seen < self.profile.faults_per_prompt:
+                    self._attempts[digest] = seen + 1
+                    self.stats.faults_injected += 1
+                    fault = self.profile.build_fault(digest)
+                else:
+                    fault = None
+            if fault is not None:
+                raise fault
+        return self._inner.complete(prompt)

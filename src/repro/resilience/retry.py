@@ -18,7 +18,7 @@ import threading
 import time
 from dataclasses import dataclass
 
-from repro.errors import CircuitOpenError, LLMError
+from repro.errors import CassetteError, CircuitOpenError, LLMError, PermanentHTTPError
 from repro.llm.client import LLMClient, UsageStats
 
 
@@ -65,11 +65,36 @@ class RetryPolicy:
 
         Open-circuit rejections are never retryable: the breaker has
         already decided the backend is down, and hammering it from inside
-        the retry loop would defeat the cooldown.
+        the retry loop would defeat the cooldown.  Permanent provider
+        rejections (4xx other than 408/429) and cassette failures are
+        likewise refused — the same request fails identically every time,
+        so retrying only burns the budget.
         """
-        if isinstance(exc, CircuitOpenError):
+        if isinstance(exc, (CircuitOpenError, PermanentHTTPError, CassetteError)):
             return False
         return isinstance(exc, self.retryable)
+
+    def retry_delay(self, schedule_delay: float, exc: BaseException) -> tuple[float, bool]:
+        """The sleep before retrying after ``exc``, honoring server hints.
+
+        When a retryable error carries a usable ``retry_after`` attribute
+        (a 429's ``Retry-After`` header, surfaced by
+        :class:`~repro.errors.RateLimitError`), the geometric schedule is
+        raised to at least that hint — but never above
+        ``max_delay_seconds``, so a hostile or confused server cannot
+        stall the pipeline indefinitely.  Returns ``(delay, honored)``
+        where ``honored`` says the hint actually changed the sleep.
+        """
+        retry_after = getattr(exc, "retry_after", None)
+        if retry_after is None:
+            return schedule_delay, False
+        try:
+            hint = float(retry_after)
+        except (TypeError, ValueError):
+            return schedule_delay, False
+        if hint <= schedule_delay:
+            return schedule_delay, False
+        return min(hint, self.max_delay_seconds), True
 
 
 class RetryingLLM:
@@ -112,7 +137,10 @@ class RetryingLLM:
                     with self._lock:
                         self.stats.retry_giveups += 1
                     raise
+                delay, honored = self.policy.retry_delay(delays[attempt], exc)
                 with self._lock:
                     self.stats.retries += 1
-                self._sleep(delays[attempt])
+                    if honored:
+                        self.stats.retry_after_honored += 1
+                self._sleep(delay)
         raise AssertionError("unreachable")  # pragma: no cover

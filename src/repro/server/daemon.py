@@ -457,6 +457,9 @@ class PolicyServer:
 
     def stats(self) -> dict[str, object]:
         epochs = self._epochs
+        # Refresh provider/breaker counters from the wrapper stack before
+        # merging, so /stats reports the boundary's live state.
+        llm_state = self.pipeline.sync_resilience_metrics()
         with self._metrics_lock:
             self.metrics.queue_depth = self.gate.depth
             merged_metrics = PipelineMetrics(queries=0)
@@ -482,6 +485,7 @@ class PolicyServer:
             },
             "latency": latency.as_dict() if latency is not None else None,
             "pool": self.pipeline.execution_stats(),
+            "llm": llm_state,
             "metrics": merged_metrics.as_dict(),
         }
 

@@ -2,9 +2,18 @@
 
 Expensive artifacts (full policy models) are session-scoped; the small
 policy fixture keeps most tests fast and independent of the big corpora.
+
+The suite also installs an autouse network guard: tier-1 must run fully
+offline, so any test that accidentally reaches a non-loopback address
+(an HTTP provider built without its env gate, a mis-mocked transport)
+fails loudly instead of hanging on a firewall or silently calling out.
+Loopback stays open — the serving-daemon tests exercise real sockets on
+127.0.0.1 by design.
 """
 
 from __future__ import annotations
+
+import socket
 
 import pytest
 
@@ -12,6 +21,49 @@ from repro import PipelineConfig, PolicyPipeline
 from repro.llm.client import CachedLLM
 from repro.llm.simulated import SimulatedLLM
 from repro.llm.tasks import TaskRunner
+
+_LOOPBACK_NAMES = {"localhost", "127.0.0.1", "::1", ""}
+
+
+def _is_loopback(address: object) -> bool:
+    """Is a connect() destination local? (AF_UNIX paths always are.)"""
+    if not isinstance(address, tuple) or not address:
+        return True  # AF_UNIX path, abstract socket, etc.
+    host = address[0]
+    if isinstance(host, bytes):
+        host = host.decode("utf-8", "replace")
+    if not isinstance(host, str):
+        return True
+    return host in _LOOPBACK_NAMES or host.startswith("127.")
+
+
+@pytest.fixture(autouse=True)
+def _no_external_network(monkeypatch):
+    """Fail loudly on any non-loopback network connect during tier-1."""
+    real_connect = socket.socket.connect
+    real_connect_ex = socket.socket.connect_ex
+
+    def guarded_connect(self, address):
+        if not _is_loopback(address):
+            raise RuntimeError(
+                f"test attempted an external network connection to "
+                f"{address!r}; tier-1 must stay offline (use a fake "
+                f"transport or a cassette)"
+            )
+        return real_connect(self, address)
+
+    def guarded_connect_ex(self, address):
+        if not _is_loopback(address):
+            raise RuntimeError(
+                f"test attempted an external network connection to "
+                f"{address!r}; tier-1 must stay offline (use a fake "
+                f"transport or a cassette)"
+            )
+        return real_connect_ex(self, address)
+
+    monkeypatch.setattr(socket.socket, "connect", guarded_connect)
+    monkeypatch.setattr(socket.socket, "connect_ex", guarded_connect_ex)
+    yield
 
 SMALL_POLICY = """\
 Acme Privacy Policy. Last updated January 2025. Welcome to Acme ("Acme", \

@@ -371,3 +371,102 @@ class TestQueryTimeout:
         )
         assert code == 3
         assert "timeout" in capsys.readouterr().err
+
+
+class TestProviderFlags:
+    QUESTION = "Acme collects the name."
+
+    def test_cassette_record_then_replay_round_trip(
+        self, policy_file, tmp_path, capsys
+    ):
+        tape = tmp_path / "tape.jsonl"
+        code = main(
+            [
+                "query",
+                policy_file,
+                self.QUESTION,
+                "--cassette",
+                "record",
+                "--cassette-path",
+                str(tape),
+            ]
+        )
+        recorded_out = capsys.readouterr().out
+        assert code == 0
+        assert tape.exists() and tape.stat().st_size > 0
+
+        code = main(
+            [
+                "query",
+                policy_file,
+                self.QUESTION,
+                "--cassette",
+                "replay",
+                "--cassette-path",
+                str(tape),
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == recorded_out
+
+    def test_strict_replay_miss_exits_8(self, policy_file, tmp_path, capsys):
+        tape = tmp_path / "empty-tape.jsonl"
+        tape.write_text("", "utf-8")
+        code = main(
+            [
+                "query",
+                policy_file,
+                self.QUESTION,
+                "--cassette",
+                "replay",
+                "--cassette-path",
+                str(tape),
+            ]
+        )
+        assert code == 8
+        assert "provider error:" in capsys.readouterr().err
+
+    def test_cassette_without_path_is_usage_error(self, policy_file, capsys):
+        code = main(["query", policy_file, self.QUESTION, "--cassette", "record"])
+        assert code == 3
+        assert "cassette" in capsys.readouterr().err
+
+    def test_http_provider_without_env_exits_8(
+        self, policy_file, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_LLM_URL", raising=False)
+        code = main(
+            ["query", policy_file, self.QUESTION, "--llm-provider", "http"]
+        )
+        assert code == 8
+        assert "REPRO_LLM_URL" in capsys.readouterr().err
+
+    def test_profile_query_still_verdicts(self, policy_file, capsys):
+        code = main(
+            ["query", policy_file, self.QUESTION, "--profile", "flaky-429"]
+        )
+        assert code == 0
+        assert "verdict: VALID" in capsys.readouterr().out
+
+    def test_unknown_profile_is_usage_error(self, policy_file, capsys):
+        code = main(
+            ["query", policy_file, self.QUESTION, "--profile", "nope"]
+        )
+        assert code == 3
+        assert "unknown stress profile" in capsys.readouterr().err
+
+    def test_stats_surface_llm_boundary_line(self, policy_file, capsys):
+        code = main(
+            [
+                "query",
+                policy_file,
+                self.QUESTION,
+                "--profile",
+                "flaky-429",
+                "--stats",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "llm boundary: breaker closed" in out
+        assert "retries" in out

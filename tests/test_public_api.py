@@ -22,6 +22,7 @@ _PACKAGES = [
     "repro.store",
     "repro.registry",
     "repro.server",
+    "repro.providers",
 ]
 
 

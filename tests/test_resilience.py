@@ -12,7 +12,14 @@ import json
 import pytest
 
 from repro import PolicyPipeline
-from repro.errors import CircuitOpenError, InjectedFaultError, LLMError
+from repro.errors import (
+    CassetteError,
+    CircuitOpenError,
+    InjectedFaultError,
+    LLMError,
+    PermanentHTTPError,
+    RateLimitError,
+)
 from repro.llm.client import CachedLLM, UsageStats, prompt_fingerprint
 from repro.llm.simulated import SimulatedLLM
 from repro.resilience import CircuitBreaker, RetryingLLM, RetryPolicy
@@ -73,6 +80,70 @@ class TestRetryPolicy:
         assert policy.is_retryable(TimeoutError())
         assert not policy.is_retryable(CircuitOpenError("open"))
         assert not policy.is_retryable(ValueError("not transient"))
+
+    def test_permanent_provider_errors_are_never_retryable(self):
+        # PermanentHTTPError and CassetteError subclass LLMError (which is
+        # retryable by default) but retrying a 401 or a cassette miss can
+        # never succeed.
+        policy = RetryPolicy()
+        assert not policy.is_retryable(PermanentHTTPError("401", status=401))
+        assert not policy.is_retryable(CassetteError("miss"))
+        assert policy.is_retryable(RateLimitError("429"))
+
+
+class TestRetryAfterHonoring:
+    """Server-advised backoff: sleep min(max(schedule, hint), max_delay)."""
+
+    def test_hint_below_or_equal_schedule_is_ignored(self):
+        policy = RetryPolicy(base_delay_seconds=0.5, max_delay_seconds=2.0)
+        exc = RateLimitError("429", retry_after=0.1)
+        assert policy.retry_delay(0.5, exc) == (0.5, False)
+        exc = RateLimitError("429", retry_after=0.5)
+        assert policy.retry_delay(0.5, exc) == (0.5, False)
+
+    def test_hint_above_schedule_is_honored(self):
+        policy = RetryPolicy(max_delay_seconds=2.0)
+        exc = RateLimitError("429", retry_after=1.5)
+        assert policy.retry_delay(0.5, exc) == (1.5, True)
+
+    def test_hint_is_capped_at_max_delay(self):
+        policy = RetryPolicy(max_delay_seconds=2.0)
+        exc = RateLimitError("429", retry_after=60.0)
+        assert policy.retry_delay(0.5, exc) == (2.0, True)
+
+    def test_exceptions_without_hints_use_the_schedule(self):
+        policy = RetryPolicy()
+        assert policy.retry_delay(0.5, LLMError("x")) == (0.5, False)
+        assert policy.retry_delay(0.5, RateLimitError("429")) == (0.5, False)
+
+    def test_retrying_llm_sleeps_the_hint_and_counts_it(self):
+        class RateLimitedLLM:
+            def __init__(self):
+                self.calls = 0
+
+            def complete(self, prompt):
+                self.calls += 1
+                if self.calls == 1:
+                    raise RateLimitError("slow down", retry_after=1.5)
+                return f"ok:{prompt}"
+
+        slept: list[float] = []
+        llm = RetryingLLM(
+            RateLimitedLLM(),
+            RetryPolicy(max_retries=2, max_delay_seconds=2.0),
+            sleep=slept.append,
+        )
+        assert llm.complete("p") == "ok:p"
+        assert slept == [1.5]  # the hint, not the 0.05s schedule step
+        assert llm.stats.retries == 1
+        assert llm.stats.retry_after_honored == 1
+
+    def test_unhinted_retries_do_not_count_as_honored(self):
+        inner = FailingLLM(failures=1)
+        llm = RetryingLLM(inner, RetryPolicy(max_retries=1), sleep=lambda _: None)
+        assert llm.complete("p") == "ok:p"
+        assert llm.stats.retries == 1
+        assert llm.stats.retry_after_honored == 0
 
 
 class TestRetryingLLM:
