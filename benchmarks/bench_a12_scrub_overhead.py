@@ -1,0 +1,169 @@
+"""A12 — served latency with the background scrubber on vs off.
+
+The scrubber's contract (PR 10) is that integrity verification is near
+free for the serving path: a tick that observes queries in flight
+(``gate.depth > 0``) pauses instead of hashing, so the only cost a
+request can observe is one snapshot hash that started while the gate was
+idle.  This bench prices that contract and asserts the served p95 with
+scrubbing stays within **10%** of the bare p95 (the acceptance bar from
+the PR).
+
+Measurement design — a 10% bound on a ~3 ms p95 is 0.3 ms, well inside
+container scheduler jitter, so the naive "two servers, compare tails"
+reading is hopelessly flaky.  Instead:
+
+* **one server, one keep-alive client** — both modes share the process,
+  sockets, and warm caches, so server-start variance never enters;
+* **ABBA round ordering** — each round measures one bare and one
+  scrubbed block, alternating which goes first, cancelling slow drift
+  (GC, page cache, thermal);
+* **paired per-round ratios** — degradation is the median of
+  ``scrub_p95 / bare_p95`` computed *within* each round, so a co-tenant
+  load phase spanning several seconds inflates both legs of the rounds
+  it touches and cancels out, instead of landing on whichever mode was
+  unlucky enough to be measured during it.
+
+The scrubber is attached to the server's own admission gate (the exact
+coupling ``ServerConfig.scrub_interval`` wires up; the end-to-end wiring
+itself is covered by the ``-m integrity`` suite), and the bench asserts
+it actually verified artifacts during the scrubbed blocks so a green run
+cannot be a scrubber that never ran.
+"""
+
+import statistics
+import time
+
+from conftest import print_table, write_bench_json
+
+from repro import PolicyPipeline, PolicyServer, ServerConfig, ServingClient
+from repro.integrity.scrub import BackgroundScrubber
+from repro.registry import MintSpec, PolicyRegistry
+
+QUESTION = "The company shares the email address with advertisers."
+FLEET = MintSpec(count=4, seed=53, target_words=(340,))
+ROUNDS = 6  # each round = one bare block + one scrubbed block (ABBA order)
+REQUESTS_PER_BLOCK = 250
+WARMUP_REQUESTS = 50
+# ~33x more aggressive than the 5s default, yet a bounded duty cycle:
+# one ~2ms snapshot hash per 150ms puts ~1% of requests behind a hash,
+# which the p95 (the worst 5%) absorbs.  Much shorter intervals push the
+# collision rate past the quantile — at 5ms the scrubber hashes between
+# *every* request and GIL contention shows up as ~30% p95.  That is a
+# misconfiguration, not a regression, so the bench does not price it.
+SCRUB_INTERVAL = 0.15
+MAX_P95_DEGRADATION = 0.10
+
+
+def _block_p95(client, companies) -> float:
+    samples = []
+    for i in range(REQUESTS_PER_BLOCK):
+        company = companies[i % len(companies)]
+        start = time.perf_counter()
+        status, _body = client.query(company, QUESTION)
+        samples.append(time.perf_counter() - start)
+        assert status == 200
+    samples.sort()
+    return samples[int(0.95 * (len(samples) - 1))]
+
+
+def test_a12_scrub_overhead(pipeline, tmp_path):
+    registry = PolicyRegistry(tmp_path / "reg", pipeline=pipeline, max_warm=8)
+    report = registry.mint(FLEET)
+    companies = registry.companies()
+    assert len(report.minted) == FLEET.count
+
+    server = PolicyServer(
+        ServerConfig(
+            root=registry.root,
+            port=0,
+            max_pending=8,
+            warm_on_start=-1,
+            handle_signals=False,
+        ),
+        pipeline=PolicyPipeline(),
+    )
+    server.start()
+    try:
+        host, port = server.address
+        client = ServingClient(host, port, timeout=30.0)
+        try:
+            for _ in range(WARMUP_REQUESTS):
+                client.query(companies[0], QUESTION)
+            scrubber = BackgroundScrubber(
+                registry.root, interval=SCRUB_INTERVAL, gate=server.gate
+            )
+            bare_p95s: list[float] = []
+            scrub_p95s: list[float] = []
+            for round_index in range(ROUNDS):
+                bare_first = round_index % 2 == 0
+                for leg in (0, 1):
+                    if (leg == 0) == bare_first:
+                        bare_p95s.append(_block_p95(client, companies))
+                    else:
+                        scrubber.start()
+                        try:
+                            scrub_p95s.append(_block_p95(client, companies))
+                        finally:
+                            scrubber.stop()
+        finally:
+            client.close()
+    finally:
+        server.stop()
+
+    # The scrubber must have actually worked during the scrubbed blocks —
+    # a paused-forever or never-started scrubber would make this bench
+    # vacuous.
+    assert scrubber.snapshots_verified > 0
+    assert scrubber.artifacts_verified > 0
+    assert scrubber.findings_total == 0  # clean fleet: detection is not priced
+
+    bare_p95 = statistics.median(bare_p95s)
+    scrub_p95 = statistics.median(scrub_p95s)
+    ratios = [s / b for s, b in zip(scrub_p95s, bare_p95s)]
+    degradation = statistics.median(ratios) - 1.0
+
+    print_table(
+        f"A12: scrub overhead ({ROUNDS} ABBA rounds x {REQUESTS_PER_BLOCK} "
+        f"requests per block over {len(companies)} companies, "
+        f"interval={SCRUB_INTERVAL}s)",
+        ["mode", "p95 (median of rounds)", "scrub work"],
+        [
+            ["bare serving", f"{bare_p95 * 1e3:.2f} ms", "-"],
+            [
+                "scrubber running",
+                f"{scrub_p95 * 1e3:.2f} ms",
+                f"{scrubber.snapshots_verified} snaps, "
+                f"{scrubber.artifacts_verified} artifacts, "
+                f"{scrubber.paused} paused ticks",
+            ],
+            [
+                "p95 degradation",
+                f"{degradation * 100:+.1f}%",
+                f"bar: <= +{MAX_P95_DEGRADATION * 100:.0f}%",
+            ],
+        ],
+    )
+
+    assert degradation <= MAX_P95_DEGRADATION, (
+        f"served p95 degraded {degradation * 100:.1f}% with the scrubber "
+        f"running ({scrub_p95 * 1e3:.2f} ms vs {bare_p95 * 1e3:.2f} ms); "
+        f"the admission-aware pause is supposed to cap this at "
+        f"{MAX_P95_DEGRADATION * 100:.0f}%"
+    )
+
+    write_bench_json(
+        "a12_scrub_overhead",
+        {
+            "companies": len(companies),
+            "rounds": ROUNDS,
+            "requests_per_block": REQUESTS_PER_BLOCK,
+            "scrub_interval_seconds": SCRUB_INTERVAL,
+            "bare_p95_seconds": round(bare_p95, 6),
+            "scrub_p95_seconds": round(scrub_p95, 6),
+            "p95_degradation": round(degradation, 4),
+            "max_p95_degradation": MAX_P95_DEGRADATION,
+            "snapshots_verified": scrubber.snapshots_verified,
+            "artifacts_verified": scrubber.artifacts_verified,
+            "paused_ticks": scrubber.paused,
+        },
+    )

@@ -36,6 +36,7 @@ from repro.core.pipeline import (
 from repro.core.verify import Verdict, VerificationResult
 from repro.errors import (
     CassetteMissError,
+    IntegrityError,
     JobError,
     PermanentHTTPError,
     ProviderError,
@@ -45,6 +46,15 @@ from repro.errors import (
     ServerError,
     SnapshotError,
     TransientHTTPError,
+)
+from repro.integrity import (
+    BackgroundScrubber,
+    Finding,
+    IntegrityReport,
+    RepairPlan,
+    Severity,
+    plan_repairs,
+    run_fsck,
 )
 from repro.jobs import JobConfig, JobResult, JobRunner
 from repro.providers import (
@@ -105,5 +115,13 @@ __all__ = [
     "CassetteMissError",
     "ReproError",
     "SnapshotError",
+    "IntegrityError",
+    "IntegrityReport",
+    "Finding",
+    "Severity",
+    "RepairPlan",
+    "BackgroundScrubber",
+    "run_fsck",
+    "plan_repairs",
     "__version__",
 ]

@@ -19,7 +19,8 @@ Usage (also available as ``python -m repro``)::
     repro-policy registry query --root DIR "QUESTION" [--companies A,B] \\
         [--checkpoint DIR] [--resume]
     repro-policy serve --root DIR [--port P] [--shed-above N] \\
-        [--deadline S] [--warm N]
+        [--deadline S] [--warm N] [--scrub-interval S]
+    repro-policy fsck PATH [--repair] [--json FILE]
 
 Every command runs fully offline on the bundled substrates.
 """
@@ -61,6 +62,9 @@ exit codes:
   8  provider/cassette failure: `--provider http` without REPRO_LLM_URL,
      a permanent provider rejection (4xx other than 408/429), or a strict
      `--cassette replay` asked for a prompt the cassette never recorded
+  9  integrity findings: `fsck` found damage in a durable artifact (or,
+     with --repair, damage remained after the repair pass — unrepairable
+     evidence is quarantined with provenance, never silently served)
 """
 
 
@@ -680,6 +684,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_warm=args.max_warm,
             warm_on_start=args.warm,
             drain_grace=args.drain_grace,
+            scrub_interval=(
+                args.scrub_interval
+                if args.scrub_interval and args.scrub_interval > 0
+                else None
+            ),
         )
     except ValueError as exc:
         raise ReproError(f"invalid serve options: {exc}") from None
@@ -706,6 +715,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         stats.merge(server.pipeline.metrics)
         print(stats.render())
     return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.integrity import plan_repairs, run_fsck
+
+    report = run_fsck(args.path)
+    print(report.summary())
+    plan = plan_repairs(report)
+    if not args.repair:
+        if not plan.empty:
+            print()
+            print(plan.summary())
+            print("\nrun again with --repair to apply this plan")
+        if args.json:
+            from repro.store.atomic import atomic_write_json
+
+            atomic_write_json(
+                args.json, {"report": report.as_dict(), "plan": plan.as_dict()}
+            )
+            print(f"wrote JSON report to {args.json}")
+        return 0 if report.clean else 9
+
+    had_unrepairable = bool(plan.unrepairable)
+    if not plan.empty:
+        plan.apply()
+        print()
+        print(plan.summary())
+    after = run_fsck(args.path)
+    print()
+    print("post-repair " + after.summary())
+    if args.json:
+        from repro.store.atomic import atomic_write_json
+
+        atomic_write_json(
+            args.json,
+            {
+                "report": report.as_dict(),
+                "plan": plan.as_dict(),
+                "post_repair": after.as_dict(),
+            },
+        )
+        print(f"wrote JSON report to {args.json}")
+    return 0 if after.clean and not had_unrepairable else 9
 
 
 def _cmd_batch_run(args: argparse.Namespace) -> int:
@@ -1038,6 +1090,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 30)",
     )
     p.add_argument(
+        "--scrub-interval",
+        type=float,
+        metavar="S",
+        help="background-scrubber tick interval in seconds: one snapshot "
+        "hash-verified per tick while the queue is idle, damage surfaced "
+        "in /stats; <= 0 or omitted disables scrubbing (default: off)",
+    )
+    p.add_argument(
         "--stats",
         action="store_true",
         help="print merged pipeline metrics after the drain",
@@ -1045,6 +1105,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_options(p)
     _add_provider_options(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "fsck",
+        help="unified integrity check over every durable artifact: "
+        "stores, registry, checkpoints, cassettes, cert quarantines "
+        "(--repair heals what the formats' own recovery can heal)",
+        epilog=EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument(
+        "path",
+        help="what to scan: a registry root, a snapshot store, a "
+        "checkpoint directory, a cassette file, a cert-quarantine "
+        "directory, or any directory containing a mix of them",
+    )
+    p.add_argument(
+        "--repair",
+        action="store_true",
+        help="apply the deterministic repair plan after scanning: "
+        "quarantine corrupt snapshots, republish survivors, truncate "
+        "torn journal tails, compact damaged cassettes, reconcile the "
+        "registry; exits 0 only when the re-scan is clean and nothing "
+        "was unrepairable",
+    )
+    p.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write the scan report (and repair plan) as JSON",
+    )
+    p.set_defaults(func=_cmd_fsck)
 
     p = sub.add_parser(
         "batch",

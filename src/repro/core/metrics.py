@@ -217,6 +217,16 @@ class PipelineMetrics:
     cassette_records: int = 0  # prompt->completion pairs appended to a cassette
     cassette_replays: int = 0  # completions served from a cassette
     cassette_misses: int = 0  # replay lookups the cassette could not serve
+    # Fleet-integrity accounting (repro.integrity): typed damage findings
+    # surfaced by loads/scans, repairs that healed them, and background
+    # scrubber progress.  Tracked on PolicyPipeline.metrics (lifetime
+    # absolutes) and on the serving daemon's own metrics for the scrubber.
+    integrity_findings: int = 0  # typed damage findings surfaced
+    integrity_repairs: int = 0  # findings healed (quarantine + fallback/rebuild)
+    integrity_unrepairable: int = 0  # findings with no valid artifact to heal from
+    scrub_passes: int = 0  # full sweeps the background scrubber completed
+    scrub_paused: int = 0  # scrub ticks skipped because queries were in flight
+    scrub_artifacts: int = 0  # snapshots hash-verified by the scrubber
     #: Tail-latency sketch (p50/p95/p99) for served requests; ``None``
     #: everywhere metrics must stay byte-identical to prior releases —
     #: only the serving layer allocates one.
@@ -346,6 +356,12 @@ class PipelineMetrics:
             f"cassette: {self.cassette_records} recorded, "
             f"{self.cassette_replays} replayed, "
             f"{self.cassette_misses} misses",
+            f"integrity: {self.integrity_findings} findings "
+            f"({self.integrity_repairs} repaired, "
+            f"{self.integrity_unrepairable} unrepairable); "
+            f"scrub: {self.scrub_passes} passes, "
+            f"{self.scrub_artifacts} artifacts verified, "
+            f"{self.scrub_paused} paused ticks",
         ]
         if self.latency is not None and self.latency.count:
             lines.append(

@@ -386,6 +386,9 @@ class PolicyPipeline:
         # Pipeline-lifetime accounting for model-store and audit events
         # (per-query metrics ride on each QueryOutcome instead).
         self.metrics = PipelineMetrics(queries=0)
+        # Bounded log of typed integrity findings surfaced by loads (the
+        # newest 64; the serving daemon exposes them under /stats).
+        self.integrity_log: list = []
         # Lazily-started worker supervisor for the process execution
         # backend; shared by every query/batch/job/fleet call on this
         # pipeline so worker processes stay warm across requests.
@@ -1236,16 +1239,42 @@ class PolicyPipeline:
         store = SnapshotStore(directory)
         try:
             result = store.load()
-        except SnapshotError:
+        except SnapshotError as exc:
+            # Every quarantine report on the error is a typed integrity
+            # finding; rebuild-from-text repairs them, otherwise they
+            # escape as unrepairable (this is the single counting point —
+            # registry loads funnel through here too).
+            damage = len(getattr(exc, "reports", ()))
+            self.metrics.integrity_findings += damage
             if policy_text is None:
+                self.metrics.integrity_unrepairable += damage
                 raise
             model = self.process(policy_text, company=company)
             store.commit(model)
             self.metrics.snapshot_rebuilds += 1
             self.metrics.snapshot_saves += 1
+            self.metrics.integrity_repairs += damage
+            self._note_integrity(exc_reports=getattr(exc, "reports", ()), store_root=directory)
             return model
         self.metrics.snapshot_loads += 1
         self.metrics.snapshot_quarantines += len(result.quarantined)
+        if result.quarantined:
+            # Served after quarantining damage and falling back to the
+            # newest valid snapshot: findings surfaced AND healed.
+            self.metrics.integrity_findings += len(result.quarantined)
+            self.metrics.integrity_repairs += len(result.quarantined)
+            self._note_integrity(
+                exc_reports=result.quarantined, store_root=directory
+            )
         if result.journal_recovery is not None:
             self.metrics.snapshot_journal_recoveries += 1
         return result.model
+
+    def _note_integrity(self, *, exc_reports, store_root) -> None:
+        """Keep a bounded log of typed findings for ``/stats`` surfacing."""
+        from repro.integrity.findings import findings_from_quarantine
+
+        self.integrity_log.extend(
+            findings_from_quarantine(exc_reports, str(store_root))
+        )
+        del self.integrity_log[:-64]

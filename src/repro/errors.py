@@ -193,6 +193,15 @@ class RegistryError(ReproError):
     """The multi-policy registry index is invalid or was misused."""
 
 
+class IntegrityError(ReproError):
+    """The integrity subsystem (fsck/repair/scrub) was misused.
+
+    Distinct from damage *findings* — those are data, reported in an
+    :class:`~repro.integrity.findings.IntegrityReport` and surfaced by
+    the CLI as exit code 9; this exception covers misuse (a nonexistent
+    scan root, applying an already-applied plan)."""
+
+
 class ServerError(ReproError):
     """The serving daemon failed to bind, become ready, or was misused."""
 

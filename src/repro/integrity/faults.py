@@ -1,0 +1,83 @@
+"""Deterministic bit-rot injection for the corruption-matrix tests.
+
+The snapshot store's :mod:`repro.store.faults` simulates *crashes* —
+kills between durable operations.  This module simulates the other half
+of the threat model: **silent media damage** to bytes that were written
+correctly.  Every injector is deterministic (offsets derive from the
+file size, never from a clock or RNG) so a corruption-matrix failure
+reproduces byte-for-byte.
+
+All injectors operate in place on real files and return a short
+description of what they did, which the matrix tests embed in failure
+messages.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def flip_bit(path: str | Path, *, offset: int | None = None, bit: int = 0) -> str:
+    """Flip one bit; the classic undetectable-without-hashing rot.
+
+    ``offset`` defaults to the middle of the file (deterministic), and is
+    clamped into range.  Empty files are left untouched.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        return f"flip_bit: {path.name} is empty, nothing to flip"
+    index = (len(data) // 2) if offset is None else min(offset, len(data) - 1)
+    data[index] ^= 1 << (bit & 7)
+    path.write_bytes(bytes(data))
+    return f"flip_bit: flipped bit {bit & 7} of byte {index} in {path.name}"
+
+
+def truncate_tail(path: str | Path, *, keep_fraction: float = 0.5) -> str:
+    """Cut the file mid-record, as a torn write or a short copy would."""
+    path = Path(path)
+    size = path.stat().st_size
+    keep = int(size * keep_fraction)
+    with open(path, "rb+") as handle:
+        handle.truncate(keep)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return f"truncate_tail: {path.name} cut from {size} to {keep} bytes"
+
+
+def zero_block(path: str | Path, *, offset: int | None = None, length: int = 64) -> str:
+    """Zero a block of bytes, as a failed sector read-back would."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        return f"zero_block: {path.name} is empty, nothing to zero"
+    start = (len(data) // 3) if offset is None else min(offset, len(data) - 1)
+    end = min(start + length, len(data))
+    data[start:end] = b"\x00" * (end - start)
+    path.write_bytes(bytes(data))
+    return f"zero_block: zeroed bytes [{start}, {end}) in {path.name}"
+
+
+def swap_files(path_a: str | Path, path_b: str | Path) -> str:
+    """Swap two files' contents, as a botched restore or rsync would.
+
+    Each file individually remains well-formed bytes — only hashing
+    against a manifest (or a content-addressed name) can notice.
+    """
+    path_a, path_b = Path(path_a), Path(path_b)
+    data_a = path_a.read_bytes()
+    data_b = path_b.read_bytes()
+    path_a.write_bytes(data_b)
+    path_b.write_bytes(data_a)
+    return f"swap_files: exchanged {path_a.name} and {path_b.name}"
+
+
+#: The fault catalog the corruption matrix parameterizes over: name ->
+#: single-file injector.  ``swap_files`` needs two targets, so matrix
+#: tests drive it separately where a sibling artifact exists.
+SINGLE_FILE_FAULTS = {
+    "flip_bit": flip_bit,
+    "truncate_tail": truncate_tail,
+    "zero_block": zero_block,
+}

@@ -101,6 +101,13 @@ def _truncate_torn_tail(path: Path) -> bool:
     return True
 
 
+def repair_torn_tail(path: str | Path) -> bool:
+    """Public seam for the integrity repair planner: truncate a torn
+    final line in place (see :func:`_truncate_torn_tail`).  Returns True
+    when a tear was found and repaired."""
+    return _truncate_torn_tail(Path(path))
+
+
 def journal_line(record: dict) -> str:
     """Envelope one record as a self-checking journal line."""
     payload = _canonical(record)
@@ -128,6 +135,12 @@ def _decode_line(line: str) -> dict | None:
     if hashlib.sha256(payload.encode("utf-8")).hexdigest() != digest:
         return None
     return record
+
+
+def decode_journal_line(line: str) -> dict | None:
+    """Public seam for the integrity walkers: the record carried by one
+    journal line, or ``None`` when the line is torn or corrupt."""
+    return _decode_line(line)
 
 
 @dataclass(slots=True)

@@ -33,9 +33,14 @@ from pathlib import Path
 
 from repro.errors import CassetteError, CassetteMissError
 from repro.llm.client import LLMClient, UsageStats, prompt_fingerprint
-from repro.store.atomic import StepHook, append_durable_line
+from repro.store.atomic import StepHook, append_durable_line, atomic_write_json
 
 CASSETTE_VERSION = 1
+
+#: Suffix of the damage sidecar written next to a cassette whose load
+#: skipped lines, so ``fsck`` can report cassette damage observed by a
+#: real replay run without replaying the cassette itself.
+SIDECAR_SUFFIX = ".integrity.json"
 
 
 def _canonical(record: dict) -> str:
@@ -121,6 +126,40 @@ def _parse_line(line: str) -> tuple[str, str, str]:
     return digest, prompt, completion
 
 
+def parse_cassette_line(line: str) -> tuple[str, str, str]:
+    """Public seam for the integrity walkers: validate one envelope line
+    → ``(digest, prompt, completion)``, raising ``ValueError`` with a
+    human-readable reason on any damage."""
+    return _parse_line(line)
+
+
+def sidecar_path(path: str | Path) -> Path:
+    """Where a cassette's damage sidecar lives (``<cassette>.integrity.json``)."""
+    return Path(str(path) + SIDECAR_SUFFIX)
+
+
+def persist_cassette_report(report: CassetteReport) -> Path | None:
+    """Persist damage a cassette load observed; drop the sidecar when clean.
+
+    Called by :class:`RecordingLLM` and :class:`ReplayLLM` after every
+    load: skipped (torn/corrupt) lines are written atomically next to
+    the cassette so a later ``fsck`` can report the damage without a
+    full replay, and a clean load removes any stale sidecar so the two
+    never disagree.  Returns the sidecar path when one was written.
+    """
+    side = sidecar_path(report.path)
+    if report.skipped:
+        atomic_write_json(side, {"v": CASSETTE_VERSION, **report.as_dict()})
+        return side
+    try:
+        side.unlink()
+    except FileNotFoundError:
+        pass
+    except OSError:  # pragma: no cover - unwritable parent; load proceeds
+        pass
+    return None
+
+
 def load_cassette(path: str | Path) -> tuple[dict[str, str], CassetteReport]:
     """Load a cassette into a digest→completion map, skipping damage.
 
@@ -180,6 +219,7 @@ class RecordingLLM:
         self._lock = threading.Lock()
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._recorded, self.report = load_cassette(self._path)
+        persist_cassette_report(self.report)
         self._handle = open(self._path, "a", encoding="utf-8")
 
     @property
@@ -246,6 +286,7 @@ class ReplayLLM:
         self.stats = stats if stats is not None else UsageStats()
         self._lock = threading.Lock()
         self._table, self.report = load_cassette(self._path)
+        persist_cassette_report(self.report)
 
     @property
     def path(self) -> Path:

@@ -62,6 +62,11 @@ class ServerConfig:
     #: the foreground.  Tests drive :meth:`PolicyServer.begin_drain`
     #: directly instead.
     handle_signals: bool = True
+    #: Seconds between background-scrubber ticks (one snapshot hash-
+    #: verified per tick, skipped while queries are in flight); None
+    #: disables scrubbing.  See
+    #: :class:`~repro.integrity.scrub.BackgroundScrubber`.
+    scrub_interval: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
@@ -86,3 +91,5 @@ class ServerConfig:
             raise ValueError("warm_on_start must be -1, 0, or a positive count")
         if not 0 <= self.port <= 65535:
             raise ValueError("port must be in [0, 65535]")
+        if self.scrub_interval is not None and self.scrub_interval <= 0:
+            raise ValueError("scrub_interval must be > 0 seconds, or None")

@@ -276,6 +276,7 @@ class PolicyServer:
         self._epochs: EpochSwitch[PolicyRegistry] | None = None
         self._httpd: _HTTPServer | None = None
         self._serve_thread: threading.Thread | None = None
+        self.scrubber = None  # BackgroundScrubber when scrub_interval is set
         self.ready = False
 
     # ------------------------------------------------------------------
@@ -326,6 +327,17 @@ class PolicyServer:
             daemon=True,
         )
         self._serve_thread.start()
+        if self.config.scrub_interval is not None:
+            from repro.integrity.scrub import BackgroundScrubber
+
+            self.scrubber = BackgroundScrubber(
+                self.config.root,
+                interval=self.config.scrub_interval,
+                gate=self.gate,
+                metrics=self.metrics,
+                metrics_lock=self._metrics_lock,
+            )
+            self.scrubber.start()
         self.ready = True
 
     @property
@@ -386,6 +398,8 @@ class PolicyServer:
         kill-mid-request chaos suite and as the tail of a drain."""
         httpd, self._httpd = self._httpd, None
         self.ready = False
+        if self.scrubber is not None:
+            self.scrubber.stop()
         if httpd is not None:
             httpd.shutdown()
             httpd.server_close()
@@ -486,6 +500,15 @@ class PolicyServer:
             "latency": latency.as_dict() if latency is not None else None,
             "pool": self.pipeline.execution_stats(),
             "llm": llm_state,
+            "integrity": {
+                "findings": merged_metrics.integrity_findings,
+                "repairs": merged_metrics.integrity_repairs,
+                "unrepairable": merged_metrics.integrity_unrepairable,
+                "recent": [
+                    f.as_dict() for f in self.pipeline.integrity_log[-8:]
+                ],
+            },
+            "scrub": None if self.scrubber is None else self.scrubber.stats(),
             "metrics": merged_metrics.as_dict(),
         }
 

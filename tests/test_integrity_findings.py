@@ -1,0 +1,138 @@
+"""Unit tests for the typed finding model (fast lane: no marker).
+
+These cover the pure data layer — severity ordering, report rollups,
+merging, and the quarantine-report conversion — without touching disk,
+so they run in the default deselection lane.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.integrity.findings import (
+    FAMILIES,
+    KIND_HASH_MISMATCH,
+    KIND_TORN_TAIL,
+    SCAN_COUNTERS,
+    Finding,
+    IntegrityReport,
+    Severity,
+    findings_from_quarantine,
+)
+from repro.store.snapshot import QuarantineReport
+
+
+def _finding(**overrides) -> Finding:
+    base = dict(
+        family="store",
+        kind=KIND_HASH_MISMATCH,
+        severity=Severity.ERROR,
+        path="/x/snapshots/snap-000001",
+        root="/x",
+        detail="sha256 mismatch",
+        subject="snap-000001",
+        repairable=True,
+    )
+    base.update(overrides)
+    return Finding(**base)
+
+
+class TestSeverity:
+    def test_total_order(self):
+        assert Severity.INFO < Severity.WARN < Severity.ERROR < Severity.CRITICAL
+
+    def test_str_is_lowercase_name(self):
+        assert str(Severity.WARN) == "warn"
+        assert str(Severity.CRITICAL) == "critical"
+
+    def test_families_cover_every_durable_artifact(self):
+        assert FAMILIES == ("store", "registry", "checkpoint", "cassette", "certs")
+
+
+class TestFinding:
+    def test_summary_names_severity_family_kind_and_path(self):
+        text = _finding().summary()
+        assert "error" in text
+        assert "store/hash-mismatch" in text
+        assert "/x/snapshots/snap-000001" in text
+
+    def test_as_dict_is_json_serializable(self):
+        payload = json.loads(json.dumps(_finding().as_dict()))
+        assert payload["family"] == "store"
+        assert payload["severity"] == "error"
+        assert payload["repairable"] is True
+
+    def test_unrepairable_is_loud_in_summary(self):
+        assert "UNREPAIRABLE" in _finding(repairable=False).summary()
+
+
+class TestIntegrityReport:
+    def test_empty_report_is_clean(self):
+        report = IntegrityReport(root="/x")
+        assert report.clean
+        assert report.max_severity is None
+        assert "clean" in report.summary()
+
+    def test_rollups_split_repairable_from_unrepairable(self):
+        report = IntegrityReport(root="/x")
+        report.add(_finding())
+        report.add(_finding(repairable=False, severity=Severity.CRITICAL))
+        assert not report.clean
+        assert len(report.repairable) == 1
+        assert len(report.unrepairable) == 1
+        assert report.max_severity is Severity.CRITICAL
+
+    def test_counters_track_scan_volume(self):
+        report = IntegrityReport(root="/x")
+        for name in SCAN_COUNTERS:
+            assert report.scanned[name] == 0
+        report.count("snapshots")
+        report.count("artifacts", 7)
+        assert report.scanned["snapshots"] == 1
+        assert report.scanned["artifacts"] == 7
+
+    def test_merge_sums_counters_and_extends_findings(self):
+        a = IntegrityReport(root="/x")
+        a.count("stores")
+        a.add(_finding())
+        b = IntegrityReport(root="/x/sub")
+        b.count("stores")
+        b.add(_finding(kind=KIND_TORN_TAIL, family="checkpoint"))
+        a.merge(b)
+        assert a.scanned["stores"] == 2
+        assert len(a.findings) == 2
+
+    def test_summary_orders_most_severe_first(self):
+        report = IntegrityReport(root="/x")
+        report.add(_finding(severity=Severity.INFO, detail="minor"))
+        report.add(_finding(severity=Severity.CRITICAL, detail="major"))
+        lines = report.summary().splitlines()
+        assert "major" in lines[1]
+        assert "minor" in lines[2]
+
+    def test_by_kind_groups(self):
+        report = IntegrityReport(root="/x")
+        report.add(_finding())
+        report.add(_finding(kind=KIND_TORN_TAIL))
+        groups = report.by_kind()
+        assert set(groups) == {KIND_HASH_MISMATCH, KIND_TORN_TAIL}
+
+
+class TestQuarantineConversion:
+    def test_quarantine_reports_become_store_findings(self):
+        reports = [
+            QuarantineReport(
+                snapshot_id="snap-000003",
+                reason="hash verification failed",
+                failures=["graph.json: sha256 mismatch"],
+                quarantined_to="/x/quarantine/snap-000003",
+            )
+        ]
+        findings = findings_from_quarantine(reports, "/x")
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.family == "store"
+        assert f.kind == KIND_HASH_MISMATCH
+        assert f.subject == "snap-000003"
+        assert not f.repairable  # already quarantined: evidence, not a plan
+        assert "sha256 mismatch" in f.detail
